@@ -1,0 +1,115 @@
+"""Figure 2: relative code size on the TMS320C25 for ten DSPStone kernels.
+
+The paper's figure 2 shows, for each kernel, two bars: the code size of the
+TI target-specific C compiler (left) and of RECORD (right), both relative
+to hand-written code (100%).  Here the TI compiler is replaced by the
+conventional-compiler baseline (no chained templates, no expansion, no
+compaction -- see ``repro.baselines``), and hand-written code by the
+idiomatic reference sizes of ``repro.baselines.reference``.
+
+Each benchmark compiles one kernel with one of the two compilers and
+records absolute and relative code size in ``extra_info``.  Run with::
+
+    pytest benchmarks/bench_figure2_codesize.py --benchmark-only
+
+or execute the file directly to print the figure's two series as a table
+(plus a crude ASCII bar chart).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import conventional_compiler, hand_reference_size
+from repro.dspstone import all_kernel_names, kernel_program
+from repro.record.compiler import RecordCompiler
+
+
+def _compile_size(compiler, kernel_name):
+    program = kernel_program(kernel_name)
+    return compiler.compile_program(program).code_size
+
+
+@pytest.mark.parametrize("kernel", all_kernel_names())
+def test_figure2_record_code_size(benchmark, record_compiler, kernel):
+    """RECORD (right bars of figure 2)."""
+    size = benchmark.pedantic(
+        _compile_size, args=(record_compiler, kernel), rounds=3, iterations=1
+    )
+    hand = hand_reference_size(kernel)
+    benchmark.extra_info["kernel"] = kernel
+    benchmark.extra_info["compiler"] = "record"
+    benchmark.extra_info["code_size_words"] = size
+    benchmark.extra_info["hand_written_words"] = hand
+    benchmark.extra_info["relative_code_size_percent"] = round(100.0 * size / hand, 1)
+    assert size > 0
+
+
+@pytest.mark.parametrize("kernel", all_kernel_names())
+def test_figure2_baseline_code_size(benchmark, baseline_compiler, kernel):
+    """Conventional compiler stand-in for the TI C compiler (left bars)."""
+    size = benchmark.pedantic(
+        _compile_size, args=(baseline_compiler, kernel), rounds=3, iterations=1
+    )
+    hand = hand_reference_size(kernel)
+    benchmark.extra_info["kernel"] = kernel
+    benchmark.extra_info["compiler"] = "conventional-baseline"
+    benchmark.extra_info["code_size_words"] = size
+    benchmark.extra_info["hand_written_words"] = hand
+    benchmark.extra_info["relative_code_size_percent"] = round(100.0 * size / hand, 1)
+    assert size > 0
+
+
+def test_figure2_shape_record_never_worse_than_baseline(record_compiler, baseline_compiler):
+    """The qualitative claim of figure 2: RECORD outperforms the
+    conventional compiler on every kernel and stays close to hand code."""
+    for kernel in all_kernel_names():
+        record_size = _compile_size(record_compiler, kernel)
+        baseline_size = _compile_size(baseline_compiler, kernel)
+        hand = hand_reference_size(kernel)
+        assert record_size <= baseline_size
+        assert record_size <= 1.5 * hand
+
+
+def main():
+    """Print figure 2 as a table and an ASCII bar chart."""
+    from repro.record.retarget import retarget
+    from repro.targets.library import target_hdl_source
+
+    result = retarget(target_hdl_source("tms320c25"))
+    record = RecordCompiler(result)
+    baseline = conventional_compiler(result)
+
+    header = "%-18s %6s %9s %9s %12s %12s" % (
+        "kernel", "hand", "baseline", "record", "baseline %", "record %"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = []
+    for kernel in all_kernel_names():
+        hand = hand_reference_size(kernel)
+        baseline_size = _compile_size(baseline, kernel)
+        record_size = _compile_size(record, kernel)
+        rows.append((kernel, hand, baseline_size, record_size))
+        print(
+            "%-18s %6d %9d %9d %11.0f%% %11.0f%%"
+            % (
+                kernel,
+                hand,
+                baseline_size,
+                record_size,
+                100.0 * baseline_size / hand,
+                100.0 * record_size / hand,
+            )
+        )
+    print()
+    print("relative code size (hand-written = 100%), B = baseline, R = RECORD")
+    for kernel, hand, baseline_size, record_size in rows:
+        baseline_pct = 100.0 * baseline_size / hand
+        record_pct = 100.0 * record_size / hand
+        print("%-18s B %s %.0f%%" % (kernel, "#" * int(baseline_pct / 10), baseline_pct))
+        print("%-18s R %s %.0f%%" % ("", "#" * int(record_pct / 10), record_pct))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.record.compiler import RecordCompiler
+from repro.record.retarget import retarget
+from repro.baselines import conventional_compiler
+from repro.targets.library import all_target_names, target_hdl_source
+
+
+@pytest.fixture(scope="session")
+def retargeted():
+    """Retargeting results for every built-in target (computed once)."""
+    return {name: retarget(target_hdl_source(name)) for name in all_target_names()}
+
+
+@pytest.fixture(scope="session")
+def tms_result(retargeted):
+    return retargeted["tms320c25"]
+
+
+@pytest.fixture(scope="session")
+def record_compiler(tms_result):
+    return RecordCompiler(tms_result)
+
+
+@pytest.fixture(scope="session")
+def baseline_compiler(tms_result):
+    return conventional_compiler(tms_result)

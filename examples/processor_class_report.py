@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Table 1: the target processor class, checked per built-in model.
+
+The paper characterises the class of processors RECORD supports (table 1):
+fixed-point data, time-stationary code, horizontal/encoded instruction
+formats, load-store and memory-register memory structures, post-modify
+addressing, heterogeneous/homogeneous register structures and mode
+registers.  This example derives the checklist automatically from each
+retargeted model.
+
+Run with::
+
+    python examples/processor_class_report.py
+"""
+
+from repro.record.report import processor_class_report
+from repro.record.retarget import retarget
+from repro.targets import all_target_names, target_hdl_source
+
+
+def main():
+    reports = {}
+    for name in all_target_names():
+        reports[name] = processor_class_report(retarget(target_hdl_source(name)))
+
+    parameters = list(next(iter(reports.values())).keys())
+    width = max(len(p) for p in parameters) + 2
+    column = 18
+
+    header = " " * width + "".join("%-*s" % (column, name) for name in reports)
+    print(header)
+    print("-" * len(header))
+    for parameter in parameters:
+        row = "%-*s" % (width, parameter)
+        for name in reports:
+            row += "%-*s" % (column, reports[name][parameter])
+        print(row)
+
+
+if __name__ == "__main__":
+    main()

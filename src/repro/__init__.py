@@ -1,0 +1,53 @@
+"""repro -- a reproduction of "Retargetable Generation of Code Selectors
+from HDL Processor Models" (Leupers & Marwedel, DATE 1997).
+
+The package implements the complete RECORD retargeting flow in pure Python:
+
+* :mod:`repro.hdl` / :mod:`repro.netlist` -- MIMOLA-inspired HDL frontend
+  and the internal graph model;
+* :mod:`repro.bdd` / :mod:`repro.ise` -- BDD engine and instruction-set
+  extraction (data-route enumeration + control-signal analysis);
+* :mod:`repro.expansion` / :mod:`repro.grammar` / :mod:`repro.selector` --
+  template-base extension, tree-grammar construction and BURS tree parsing
+  (the iburg-equivalent code selector);
+* :mod:`repro.frontend` / :mod:`repro.ir` / :mod:`repro.codegen` -- source
+  language, IR and the code-generation backend (selection, scheduling,
+  spilling, compaction);
+* :mod:`repro.record` -- the retargeting driver and the retargetable
+  compiler;
+* :mod:`repro.targets`, :mod:`repro.dspstone`, :mod:`repro.baselines`,
+  :mod:`repro.sim` -- the six built-in processor models, the DSPStone
+  kernels, the experiment baselines and the RT-level simulator.
+
+Typical usage::
+
+    from repro import retarget, RecordCompiler, target_hdl_source
+
+    result = retarget(target_hdl_source("tms320c25"))
+    compiler = RecordCompiler(result)
+    compiled = compiler.compile_source("int a, b, c, d; d = c + a * b;")
+    print(compiled.code_size)
+    print(compiled.listing())
+"""
+
+from repro.record.compiler import CompiledProgram, CompilerOptions, RecordCompiler
+from repro.record.retarget import RetargetResult, retarget
+from repro.targets.library import all_target_names, get_target, target_hdl_source
+from repro.dspstone.kernels import all_kernel_names, get_kernel, kernel_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram",
+    "CompilerOptions",
+    "RecordCompiler",
+    "RetargetResult",
+    "__version__",
+    "all_kernel_names",
+    "all_target_names",
+    "get_kernel",
+    "get_target",
+    "kernel_program",
+    "retarget",
+    "target_hdl_source",
+]

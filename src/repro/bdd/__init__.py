@@ -1,0 +1,20 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+The paper models execution conditions of register-transfer templates with
+BDDs whose variables are instruction-word bits and mode-register bits
+(section 2, "Analysis of control signals").  This package provides the
+hash-consed BDD manager used throughout instruction-set extraction, plus a
+small Boolean expression layer and bit-vector helpers used when propagating
+control signals through decoder logic.
+"""
+
+from repro.bdd.manager import BDD, BDDManager
+from repro.bdd.expr import BitVector, bitvector_const, bitvector_equals
+
+__all__ = [
+    "BDD",
+    "BDDManager",
+    "BitVector",
+    "bitvector_const",
+    "bitvector_equals",
+]

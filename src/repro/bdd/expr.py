@@ -1,0 +1,141 @@
+"""Bit-vector layer on top of the BDD manager.
+
+Control-signal analysis propagates the value of every control wire as a
+vector of BDDs over the primary control variables (instruction-word bits and
+mode-register bits).  This module provides the symbolic bit-vector type used
+for that propagation, including the arithmetic/logic operators that decoder
+behaviours may use.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.bdd.manager import BDD, BDDManager
+
+
+class BitVector:
+    """A fixed-width vector of BDDs, least-significant bit first."""
+
+    __slots__ = ("manager", "bits")
+
+    def __init__(self, manager: BDDManager, bits: Sequence[BDD]):
+        self.manager = manager
+        self.bits = list(bits)
+
+    @property
+    def width(self) -> int:
+        return len(self.bits)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def constant(cls, manager: BDDManager, value: int, width: int) -> "BitVector":
+        bits = [manager.constant(bool((value >> i) & 1)) for i in range(width)]
+        return cls(manager, bits)
+
+    @classmethod
+    def variables(cls, manager: BDDManager, prefix: str, width: int) -> "BitVector":
+        bits = [manager.variable("%s[%d]" % (prefix, i)) for i in range(width)]
+        return cls(manager, bits)
+
+    def is_constant(self) -> bool:
+        return all(bit.is_constant() for bit in self.bits)
+
+    def constant_value(self) -> Optional[int]:
+        """The integer value when every bit is constant, else ``None``."""
+        if not self.is_constant():
+            return None
+        value = 0
+        for i, bit in enumerate(self.bits):
+            if bit.is_true():
+                value |= 1 << i
+        return value
+
+    # -- slicing / resizing ---------------------------------------------------
+
+    def slice(self, low: int, high: int) -> "BitVector":
+        """Bits ``low..high`` inclusive (like ``word[high:low]`` in the HDL)."""
+        if low < 0 or high >= self.width or low > high:
+            raise ValueError(
+                "slice [%d:%d] out of range for width %d" % (high, low, self.width)
+            )
+        return BitVector(self.manager, self.bits[low : high + 1])
+
+    def zero_extend(self, width: int) -> "BitVector":
+        if width < self.width:
+            return BitVector(self.manager, self.bits[:width])
+        padding = [self.manager.false] * (width - self.width)
+        return BitVector(self.manager, self.bits + padding)
+
+    def concat(self, other: "BitVector") -> "BitVector":
+        """Concatenate with ``other`` becoming the more significant bits."""
+        return BitVector(self.manager, self.bits + other.bits)
+
+    # -- bitwise operators ------------------------------------------------------
+
+    def bitwise_and(self, other: "BitVector") -> "BitVector":
+        a, b = _align(self, other)
+        return BitVector(self.manager, [x & y for x, y in zip(a.bits, b.bits)])
+
+    def bitwise_or(self, other: "BitVector") -> "BitVector":
+        a, b = _align(self, other)
+        return BitVector(self.manager, [x | y for x, y in zip(a.bits, b.bits)])
+
+    def bitwise_xor(self, other: "BitVector") -> "BitVector":
+        a, b = _align(self, other)
+        return BitVector(self.manager, [x ^ y for x, y in zip(a.bits, b.bits)])
+
+    def bitwise_not(self) -> "BitVector":
+        return BitVector(self.manager, [~bit for bit in self.bits])
+
+    # -- arithmetic (needed when decoders add/compare fields) --------------------
+
+    def add(self, other: "BitVector") -> "BitVector":
+        a, b = _align(self, other)
+        carry = self.manager.false
+        bits: List[BDD] = []
+        for x, y in zip(a.bits, b.bits):
+            bits.append(x ^ y ^ carry)
+            carry = (x & y) | (carry & (x ^ y))
+        return BitVector(self.manager, bits)
+
+    def equals(self, other: "BitVector") -> BDD:
+        a, b = _align(self, other)
+        result = self.manager.true
+        for x, y in zip(a.bits, b.bits):
+            result = result & x.iff(y)
+        return result
+
+    def equals_constant(self, value: int) -> BDD:
+        return self.equals(BitVector.constant(self.manager, value, self.width))
+
+    # -- multiplexing -------------------------------------------------------------
+
+    def if_then_else(self, condition: BDD, other: "BitVector") -> "BitVector":
+        """``condition ? self : other`` bit by bit."""
+        a, b = _align(self, other)
+        bits = [(condition & x) | ((~condition) & y) for x, y in zip(a.bits, b.bits)]
+        return BitVector(self.manager, bits)
+
+    def __repr__(self) -> str:
+        value = self.constant_value()
+        if value is not None:
+            return "BitVector(%d, width=%d)" % (value, self.width)
+        return "BitVector(symbolic, width=%d)" % self.width
+
+
+def _align(a: BitVector, b: BitVector):
+    """Zero-extend the narrower operand so widths match."""
+    width = max(a.width, b.width)
+    return a.zero_extend(width), b.zero_extend(width)
+
+
+def bitvector_const(manager: BDDManager, value: int, width: int) -> BitVector:
+    """Convenience wrapper for :meth:`BitVector.constant`."""
+    return BitVector.constant(manager, value, width)
+
+
+def bitvector_equals(vector: BitVector, value: int) -> BDD:
+    """Condition under which ``vector`` carries the constant ``value``."""
+    return vector.equals_constant(value)

@@ -1,0 +1,345 @@
+"""A hash-consed ROBDD manager.
+
+The manager owns all nodes; BDD handles are lightweight wrappers around a
+node index so that equality of functions is pointer (index) equality.  The
+variable order is the order in which variables are first declared, which for
+instruction-set extraction means instruction-word bits followed by
+mode-register bits -- a natural and effective order for decoder logic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class BDD:
+    """Handle to a Boolean function owned by a :class:`BDDManager`."""
+
+    __slots__ = ("manager", "node")
+
+    def __init__(self, manager: "BDDManager", node: int):
+        self.manager = manager
+        self.node = node
+
+    # -- structural queries -------------------------------------------------
+
+    def is_true(self) -> bool:
+        return self.node == BDDManager.TRUE
+
+    def is_false(self) -> bool:
+        return self.node == BDDManager.FALSE
+
+    def is_constant(self) -> bool:
+        return self.node in (BDDManager.TRUE, BDDManager.FALSE)
+
+    # -- Boolean connectives ------------------------------------------------
+
+    def __and__(self, other: "BDD") -> "BDD":
+        self._check(other)
+        return BDD(self.manager, self.manager._apply("and", self.node, other.node))
+
+    def __or__(self, other: "BDD") -> "BDD":
+        self._check(other)
+        return BDD(self.manager, self.manager._apply("or", self.node, other.node))
+
+    def __xor__(self, other: "BDD") -> "BDD":
+        self._check(other)
+        return BDD(self.manager, self.manager._apply("xor", self.node, other.node))
+
+    def __invert__(self) -> "BDD":
+        return BDD(self.manager, self.manager._negate(self.node))
+
+    def implies(self, other: "BDD") -> "BDD":
+        return (~self) | other
+
+    def iff(self, other: "BDD") -> "BDD":
+        return ~(self ^ other)
+
+    # -- equality / hashing ---------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, BDD)
+            and other.manager is self.manager
+            and other.node == self.node
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node))
+
+    def __repr__(self) -> str:
+        if self.is_true():
+            return "BDD(true)"
+        if self.is_false():
+            return "BDD(false)"
+        return "BDD(node=%d)" % self.node
+
+    # -- queries --------------------------------------------------------------
+
+    def satisfiable(self) -> bool:
+        """Whether at least one assignment satisfies the function."""
+        return self.node != BDDManager.FALSE
+
+    def is_tautology(self) -> bool:
+        return self.node == BDDManager.TRUE
+
+    def support(self) -> List[str]:
+        """Names of the variables the function actually depends on."""
+        return self.manager._support(self.node)
+
+    def restrict(self, assignment: Dict[str, bool]) -> "BDD":
+        """Cofactor with respect to a partial variable assignment."""
+        return BDD(self.manager, self.manager._restrict(self.node, assignment))
+
+    def sat_count(self, nvars: Optional[int] = None) -> int:
+        """Number of satisfying assignments over ``nvars`` variables.
+
+        Defaults to the number of variables declared in the manager.
+        """
+        if nvars is None:
+            nvars = len(self.manager._var_names)
+        return self.manager._sat_count(self.node, nvars)
+
+    def one_sat(self) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment (only variables on the chosen path),
+        or ``None`` when unsatisfiable."""
+        return self.manager._one_sat(self.node)
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        """Evaluate under a total assignment (missing variables read as 0)."""
+        return self.manager._evaluate(self.node, assignment)
+
+    def _check(self, other: "BDD") -> None:
+        if other.manager is not self.manager:
+            raise ValueError("cannot combine BDDs from different managers")
+
+
+class BDDManager:
+    """Owns BDD nodes, the unique table and the operation cache."""
+
+    FALSE = 0
+    TRUE = 1
+
+    def __init__(self) -> None:
+        # node storage: (level, low, high); indices 0/1 are the terminals.
+        self._nodes: List[Tuple[int, int, int]] = [(-1, -1, -1), (-1, -1, -1)]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._cache: Dict[Tuple[str, int, int], int] = {}
+        self._var_names: List[str] = []
+        self._var_levels: Dict[str, int] = {}
+
+    # -- construction ---------------------------------------------------------
+
+    @property
+    def true(self) -> BDD:
+        return BDD(self, self.TRUE)
+
+    @property
+    def false(self) -> BDD:
+        return BDD(self, self.FALSE)
+
+    def constant(self, value: bool) -> BDD:
+        return self.true if value else self.false
+
+    def variable(self, name: str) -> BDD:
+        """Return (declaring on first use) the BDD for a single variable."""
+        level = self._var_levels.get(name)
+        if level is None:
+            level = len(self._var_names)
+            self._var_names.append(name)
+            self._var_levels[name] = level
+        return BDD(self, self._mk(level, self.FALSE, self.TRUE))
+
+    def declared_variables(self) -> List[str]:
+        return list(self._var_names)
+
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    # -- core algorithms ------------------------------------------------------
+
+    def _mk(self, level: int, low: int, high: int) -> int:
+        if low == high:
+            return low
+        key = (level, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._nodes)
+            self._nodes.append(key)
+            self._unique[key] = node
+        return node
+
+    def _level(self, node: int) -> int:
+        if node in (self.FALSE, self.TRUE):
+            return len(self._var_names) + 10_000_000
+        return self._nodes[node][0]
+
+    def _apply(self, op: str, a: int, b: int) -> int:
+        terminal = self._apply_terminal(op, a, b)
+        if terminal is not None:
+            return terminal
+        # normalise commutative operations for better cache hits
+        key_a, key_b = (a, b) if a <= b else (b, a)
+        cache_key = (op, key_a, key_b)
+        hit = self._cache.get(cache_key)
+        if hit is not None:
+            return hit
+        la, lb = self._level(a), self._level(b)
+        level = min(la, lb)
+        a_low, a_high = (self._nodes[a][1], self._nodes[a][2]) if la == level else (a, a)
+        b_low, b_high = (self._nodes[b][1], self._nodes[b][2]) if lb == level else (b, b)
+        low = self._apply(op, a_low, b_low)
+        high = self._apply(op, a_high, b_high)
+        result = self._mk(level, low, high)
+        self._cache[cache_key] = result
+        return result
+
+    def _apply_terminal(self, op: str, a: int, b: int) -> Optional[int]:
+        if op == "and":
+            if a == self.FALSE or b == self.FALSE:
+                return self.FALSE
+            if a == self.TRUE:
+                return b
+            if b == self.TRUE:
+                return a
+            if a == b:
+                return a
+        elif op == "or":
+            if a == self.TRUE or b == self.TRUE:
+                return self.TRUE
+            if a == self.FALSE:
+                return b
+            if b == self.FALSE:
+                return a
+            if a == b:
+                return a
+        elif op == "xor":
+            if a == b:
+                return self.FALSE
+            if a == self.FALSE:
+                return b
+            if b == self.FALSE:
+                return a
+            if a == self.TRUE:
+                return self._negate(b)
+            if b == self.TRUE:
+                return self._negate(a)
+        else:
+            raise ValueError("unknown BDD operation: %r" % op)
+        return None
+
+    def _negate(self, node: int) -> int:
+        if node == self.FALSE:
+            return self.TRUE
+        if node == self.TRUE:
+            return self.FALSE
+        cache_key = ("not", node, node)
+        hit = self._cache.get(cache_key)
+        if hit is not None:
+            return hit
+        level, low, high = self._nodes[node]
+        result = self._mk(level, self._negate(low), self._negate(high))
+        self._cache[cache_key] = result
+        return result
+
+    def _support(self, node: int) -> List[str]:
+        seen = set()
+        names = set()
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            if current in (self.FALSE, self.TRUE) or current in seen:
+                continue
+            seen.add(current)
+            level, low, high = self._nodes[current]
+            names.add(self._var_names[level])
+            stack.append(low)
+            stack.append(high)
+        return sorted(names, key=lambda name: self._var_levels[name])
+
+    def _restrict(self, node: int, assignment: Dict[str, bool]) -> int:
+        levels = {
+            self._var_levels[name]: value
+            for name, value in assignment.items()
+            if name in self._var_levels
+        }
+        memo: Dict[int, int] = {}
+
+        def walk(current: int) -> int:
+            if current in (self.FALSE, self.TRUE):
+                return current
+            if current in memo:
+                return memo[current]
+            level, low, high = self._nodes[current]
+            if level in levels:
+                result = walk(high if levels[level] else low)
+            else:
+                result = self._mk(level, walk(low), walk(high))
+            memo[current] = result
+            return result
+
+        return walk(node)
+
+    def _sat_count(self, node: int, nvars: int) -> int:
+        memo: Dict[int, int] = {}
+
+        def walk(current: int) -> Tuple[int, int]:
+            """Return (count, level) where count is over variables below level."""
+            if current == self.FALSE:
+                return 0, nvars
+            if current == self.TRUE:
+                return 1, nvars
+            if current in memo:
+                level = self._nodes[current][0]
+                return memo[current], level
+            level, low, high = self._nodes[current]
+            low_count, low_level = walk(low)
+            high_count, high_level = walk(high)
+            count = low_count * (1 << (low_level - level - 1)) + high_count * (
+                1 << (high_level - level - 1)
+            )
+            memo[current] = count
+            return count, level
+
+        count, level = walk(node)
+        return count * (1 << level)
+
+    def _one_sat(self, node: int) -> Optional[Dict[str, bool]]:
+        if node == self.FALSE:
+            return None
+        assignment: Dict[str, bool] = {}
+        current = node
+        while current != self.TRUE:
+            level, low, high = self._nodes[current]
+            name = self._var_names[level]
+            if high != self.FALSE:
+                assignment[name] = True
+                current = high
+            else:
+                assignment[name] = False
+                current = low
+        return assignment
+
+    def _evaluate(self, node: int, assignment: Dict[str, bool]) -> bool:
+        current = node
+        while current not in (self.FALSE, self.TRUE):
+            level, low, high = self._nodes[current]
+            name = self._var_names[level]
+            current = high if assignment.get(name, False) else low
+        return current == self.TRUE
+
+    # -- convenience ----------------------------------------------------------
+
+    def conjoin(self, functions: Iterator[BDD]) -> BDD:
+        """AND together an iterable of BDDs (true for an empty iterable)."""
+        result = self.true
+        for function in functions:
+            result = result & function
+        return result
+
+    def disjoin(self, functions: Iterator[BDD]) -> BDD:
+        """OR together an iterable of BDDs (false for an empty iterable)."""
+        result = self.false
+        for function in functions:
+            result = result | function
+        return result

@@ -1,0 +1,208 @@
+"""Command-line interface to the RECORD reproduction.
+
+Usage (also available as ``python -m repro ...``)::
+
+    python -m repro targets                      # list built-in processors
+    python -m repro kernels                      # list DSPStone kernels
+    python -m repro retarget tms320c25           # retargeting report
+    python -m repro retarget tms320c25 --templates --bnf
+    python -m repro retarget my_asip.hdl         # retarget a user HDL file
+    python -m repro compile tms320c25 prog.c     # compile a source file
+    python -m repro compile tms320c25 --kernel fir --baseline --binary
+    python -m repro table3                       # print table 3
+    python -m repro figure2                      # print figure 2
+
+The CLI is a thin layer over the library API; everything it prints can also
+be obtained programmatically (see README.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.baselines import conventional_compiler, hand_reference_size
+from repro.codegen.encoding import InstructionEncoder
+from repro.dspstone import all_kernel_names, get_kernel
+from repro.grammar import grammar_to_bnf
+from repro.record.compiler import RecordCompiler
+from repro.record.report import format_processor_class_report, retargeting_report
+from repro.record.retarget import RetargetResult, retarget
+from repro.targets import all_target_names, get_target, target_hdl_source
+
+
+def _load_hdl(target: str) -> str:
+    """HDL source of a built-in target name or of an HDL file path."""
+    if target in all_target_names():
+        return target_hdl_source(target)
+    if os.path.exists(target):
+        with open(target, "r") as handle:
+            return handle.read()
+    raise SystemExit(
+        "error: %r is neither a built-in target (%s) nor an HDL file"
+        % (target, ", ".join(all_target_names()))
+    )
+
+
+def _retarget(target: str) -> RetargetResult:
+    return retarget(_load_hdl(target))
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_targets(_args) -> int:
+    for name in all_target_names():
+        spec = get_target(name)
+        print("%-12s %-20s %s" % (name, spec.category, spec.description))
+    return 0
+
+
+def _cmd_kernels(_args) -> int:
+    for name in all_kernel_names():
+        kernel = get_kernel(name)
+        parameters = ", ".join("%s=%d" % (k, v) for k, v in kernel.parameters.items())
+        print("%-20s %-45s %s" % (name, kernel.description, parameters))
+    return 0
+
+
+def _cmd_retarget(args) -> int:
+    result = _retarget(args.target)
+    print(retargeting_report(result))
+    if args.features:
+        print(format_processor_class_report(result))
+    if args.templates:
+        print("Extended RT template base (%d templates):" % result.template_count)
+        for template in result.template_base:
+            print("  " + template.render())
+        print()
+    if args.bnf:
+        print(grammar_to_bnf(result.grammar))
+    return 0
+
+
+def _cmd_compile(args) -> int:
+    result = _retarget(args.target)
+    compiler = (
+        conventional_compiler(result) if args.baseline else RecordCompiler(result)
+    )
+    if args.kernel:
+        kernel = get_kernel(args.kernel)
+        source = kernel.source
+        name = kernel.name
+    elif args.source:
+        with open(args.source, "r") as handle:
+            source = handle.read()
+        name = os.path.basename(args.source)
+    else:
+        raise SystemExit("error: provide a source file or --kernel NAME")
+    compiled = compiler.compile_source(source, name=name)
+    print(compiled.listing())
+    print("code size: %d instruction words (%d RT operations, %d spills)" % (
+        compiled.code_size, compiled.operation_count, compiled.spill_count))
+    if args.kernel:
+        hand = hand_reference_size(args.kernel)
+        print("relative to hand-written reference (%d words): %.0f%%" % (
+            hand, 100.0 * compiled.code_size / hand))
+    if args.binary:
+        encoder = InstructionEncoder(result.netlist)
+        print("\nbinary encoding (dash = don't-care bit):")
+        print(encoder.listing(compiled.words))
+    return 0
+
+
+def _cmd_table3(_args) -> int:
+    from benchmarks.bench_table3_retargeting import main as table3_main  # pragma: no cover
+
+    table3_main()
+    return 0
+
+
+def _cmd_figure2(_args) -> int:
+    from benchmarks.bench_figure2_codesize import main as figure2_main  # pragma: no cover
+
+    figure2_main()
+    return 0
+
+
+def _table3_fallback() -> int:
+    """Inline table 3 printing that does not require the benchmarks package."""
+    header = "%-12s %14s %22s" % ("target", "RT templates", "retargeting time [s]")
+    print(header)
+    print("-" * len(header))
+    for name in all_target_names():
+        result = retarget(target_hdl_source(name))
+        print("%-12s %14d %22.3f" % (name, result.template_count, result.timings.total))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# argument parsing
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="RECORD reproduction: retargetable code selector generation "
+        "from HDL processor models (Leupers & Marwedel, DATE 1997).",
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser("targets", help="list built-in target processors")
+    subparsers.add_parser("kernels", help="list DSPStone kernels")
+
+    retarget_parser = subparsers.add_parser(
+        "retarget", help="retarget RECORD to a processor and print the report"
+    )
+    retarget_parser.add_argument("target", help="built-in target name or HDL file path")
+    retarget_parser.add_argument("--templates", action="store_true", help="print the extended RT template base")
+    retarget_parser.add_argument("--bnf", action="store_true", help="print the tree grammar in BNF form")
+    retarget_parser.add_argument("--features", action="store_true", help="print the table-1 feature checklist")
+
+    compile_parser = subparsers.add_parser("compile", help="compile a program for a target")
+    compile_parser.add_argument("target", help="built-in target name or HDL file path")
+    compile_parser.add_argument("source", nargs="?", help="source file in the C-like input language")
+    compile_parser.add_argument("--kernel", help="compile a named DSPStone kernel instead of a file")
+    compile_parser.add_argument("--baseline", action="store_true", help="use the conventional-compiler baseline")
+    compile_parser.add_argument("--binary", action="store_true", help="also print the binary instruction encoding")
+
+    subparsers.add_parser("table3", help="print table 3 (retargeting time per target)")
+    subparsers.add_parser("figure2", help="print figure 2 (relative code size per kernel)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    if args.command == "targets":
+        return _cmd_targets(args)
+    if args.command == "kernels":
+        return _cmd_kernels(args)
+    if args.command == "retarget":
+        return _cmd_retarget(args)
+    if args.command == "compile":
+        return _cmd_compile(args)
+    if args.command == "table3":
+        try:
+            return _cmd_table3(args)
+        except ImportError:
+            return _table3_fallback()
+    if args.command == "figure2":
+        try:
+            return _cmd_figure2(args)
+        except ImportError:
+            raise SystemExit("error: the benchmarks package is not importable")
+    parser.error("unknown command %r" % args.command)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Binary instruction encoding.
+
+Every compacted instruction word carries a BDD execution condition over
+instruction-word and mode-register bits.  This module turns that condition
+into a concrete binary encoding: bits that the condition forces are set
+accordingly, all remaining bits are don't-cares (reported in a mask and set
+to zero in the word).  The result is what the paper calls the *binary
+partial instruction* of the RTs packed into the word, assembled per
+instruction memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.compaction import InstructionWord
+from repro.hdl.ast import ModuleKind
+from repro.netlist.netlist import Netlist
+
+
+@dataclass(frozen=True)
+class EncodedWord:
+    """One instruction word encoded for a specific instruction memory.
+
+    ``value`` holds the forced bits, ``care_mask`` has a 1 for every bit the
+    execution condition actually constrains; all other bits are free (the
+    compactor may later use them for additional parallel RTs, the assembler
+    leaves them zero).
+    """
+
+    memory: str
+    width: int
+    value: int
+    care_mask: int
+
+    def bit(self, index: int) -> Optional[int]:
+        """The value of one bit, or ``None`` when it is a don't-care."""
+        if not (self.care_mask >> index) & 1:
+            return None
+        return (self.value >> index) & 1
+
+    def render(self) -> str:
+        """MSB-first bit string with ``-`` for don't-care bits."""
+        characters = []
+        for index in reversed(range(self.width)):
+            bit = self.bit(index)
+            characters.append("-" if bit is None else str(bit))
+        return "".join(characters)
+
+
+class InstructionEncoder:
+    """Encodes compacted instruction words for one processor."""
+
+    def __init__(self, netlist: Netlist):
+        self.netlist = netlist
+        self._fields = self._instruction_fields()
+
+    def _instruction_fields(self) -> List[Tuple[str, str, int]]:
+        """(memory name, port name, width) of every instruction-word source."""
+        fields: List[Tuple[str, str, int]] = []
+        for module in self.netlist.modules.values():
+            if module.kind != ModuleKind.INSTRUCTION_MEMORY:
+                continue
+            for port in module.output_ports():
+                fields.append((module.name, port.name, port.width))
+        return fields
+
+    @property
+    def instruction_width(self) -> int:
+        """Total width of the instruction word (sum over instruction
+        memories, normally exactly one)."""
+        return sum(width for _m, _p, width in self._fields)
+
+    def encode_word(self, word: InstructionWord) -> List[EncodedWord]:
+        """Encode one instruction word, one :class:`EncodedWord` per
+        instruction memory."""
+        assignment = word.partial_instruction()
+        return self._encode_assignment(assignment)
+
+    def encode_assignment(self, assignment: Dict[str, bool]) -> List[EncodedWord]:
+        """Encode an explicit bit assignment (e.g. one RT template's
+        ``partial_instruction``)."""
+        return self._encode_assignment(assignment)
+
+    def encode_program(self, words: List[InstructionWord]) -> List[List[EncodedWord]]:
+        """Encode a whole compacted program."""
+        return [self.encode_word(word) for word in words]
+
+    def listing(self, words: List[InstructionWord]) -> str:
+        """A binary listing: one line per word and instruction memory."""
+        lines: List[str] = []
+        for index, word in enumerate(words):
+            encodings = self.encode_word(word)
+            rendered = "  ".join(
+                "%s:%s" % (encoding.memory, encoding.render()) for encoding in encodings
+            )
+            lines.append("%4d:  %s   ; %s" % (index, rendered, word.describe()))
+        return "\n".join(lines) + "\n"
+
+    # -- internals -------------------------------------------------------------
+
+    def _encode_assignment(self, assignment: Dict[str, bool]) -> List[EncodedWord]:
+        encoded: List[EncodedWord] = []
+        for memory, port, width in self._fields:
+            value = 0
+            mask = 0
+            prefix = "%s.%s[" % (memory, port)
+            for name, bit_value in assignment.items():
+                if not name.startswith(prefix):
+                    continue
+                index = int(name[len(prefix) : -1])
+                if index >= width:
+                    continue
+                mask |= 1 << index
+                if bit_value:
+                    value |= 1 << index
+            encoded.append(EncodedWord(memory=memory, width=width, value=value, care_mask=mask))
+        return encoded

@@ -1,0 +1,80 @@
+"""Evaluation-order scheduling of selected RTs.
+
+Tree parsing fixes *which* RTs are executed but not their exact order.  On
+inhomogeneous data paths a bad order clobbers special-purpose registers
+(e.g. the accumulator) while they still hold live intermediate results and
+forces spills.  Following the spirit of the Araujo/Malik scheduling used by
+the paper, this pass performs a list scheduling over the data-dependence
+graph of the selected RTs, preferring operations whose result register does
+not currently hold a live value.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.codegen.selection import RTInstance
+
+
+def _dependencies(instances: List[RTInstance]) -> Dict[int, Set[int]]:
+    """index -> set of indices that must execute before it (true data
+    dependences via value ids, plus original order for same-storage writes
+    so that later redefinitions never overtake earlier uses)."""
+    producer_of: Dict[str, int] = {}
+    depends: Dict[int, Set[int]] = {i: set() for i in range(len(instances))}
+    for index, instance in enumerate(instances):
+        for value_id, _storage in instance.operands:
+            producer = producer_of.get(value_id)
+            if producer is not None:
+                depends[index].add(producer)
+        # Preserve relative order of instructions producing the same value id
+        # (e.g. a compute followed by the store of the same value).
+        previous = producer_of.get(instance.result_id)
+        if previous is not None:
+            depends[index].add(previous)
+        producer_of[instance.result_id] = index
+    return depends
+
+
+def schedule_instances(instances: List[RTInstance]) -> List[RTInstance]:
+    """A data-dependence preserving order that reduces register clobbering.
+
+    The scheduler repeatedly picks a ready RT; among ready RTs it prefers
+    one whose result storage holds no live value, then falls back to the
+    original program order (stable, deterministic).
+    """
+    if len(instances) <= 1:
+        return list(instances)
+    depends = _dependencies(instances)
+    remaining_uses: Dict[str, int] = {}
+    for instance in instances:
+        for value_id, _storage in instance.operands:
+            remaining_uses[value_id] = remaining_uses.get(value_id, 0) + 1
+
+    scheduled: List[RTInstance] = []
+    done: Set[int] = set()
+    # storage -> value id currently live in it
+    live_in_storage: Dict[str, str] = {}
+
+    def is_ready(index: int) -> bool:
+        return index not in done and depends[index] <= done
+
+    while len(done) < len(instances):
+        ready = [i for i in range(len(instances)) if is_ready(i)]
+        if not ready:  # pragma: no cover - dependence graph is acyclic by construction
+            ready = [i for i in range(len(instances)) if i not in done]
+        def clobbers_live(index: int) -> bool:
+            instance = instances[index]
+            live = live_in_storage.get(instance.result_storage)
+            if live is None or live == instance.result_id:
+                return False
+            return remaining_uses.get(live, 0) > 0
+        ready.sort(key=lambda i: (clobbers_live(i), i))
+        choice = ready[0]
+        instance = instances[choice]
+        done.add(choice)
+        scheduled.append(instance)
+        for value_id, _storage in instance.operands:
+            remaining_uses[value_id] = max(0, remaining_uses.get(value_id, 0) - 1)
+        live_in_storage[instance.result_storage] = instance.result_id
+    return scheduled

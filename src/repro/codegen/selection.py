@@ -1,0 +1,192 @@
+"""Code selection: covering IR statements with RT templates.
+
+Each statement's expression tree is lowered into a subject tree using the
+terminal vocabulary of the target's tree grammar (storage names for bound
+variables, ``Const`` for constants, operator names for inner nodes, and the
+``ASSIGN`` root capturing the destination).  The processor-specific
+:class:`~repro.selector.burs.CodeSelector` computes the optimal cover; RT
+rules of the cover become :class:`RTInstance` objects, the unit from which
+scheduling, spilling, compaction and simulation work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.grammar.grammar import RuleKind, storage_of_nonterminal
+from repro.ir.binding import ResourceBinding
+from repro.ir.expr import Const, IRNode, Op, PortInput, VarRef
+from repro.ir.program import BasicBlock, Statement
+from repro.selector.burs import CodeSelector, Reduction, SelectionError
+from repro.selector.subject import SubjectNode
+
+
+class CodeGenerationError(Exception):
+    """Raised when a statement cannot be covered by the target's templates."""
+
+
+@dataclass
+class RTInstance:
+    """One selected register transfer (one machine operation).
+
+    ``kind`` is ``"rt"`` for template-derived operations and
+    ``"spill_store"`` / ``"spill_reload"`` for transfers inserted by the
+    spill phase.
+    """
+
+    kind: str
+    result_id: str
+    result_storage: str
+    operands: List[tuple] = field(default_factory=list)  # (value_id, storage)
+    rule: object = None
+    template: object = None
+    node: Optional[SubjectNode] = None
+    # Subject nodes corresponding (positionally) to ``operands``; used by the
+    # RT-level simulator to know where the covered region of the tree ends.
+    operand_nodes: List[SubjectNode] = field(default_factory=list)
+    defines_variable: Optional[str] = None
+
+    def reads(self) -> List[str]:
+        return [value_id for value_id, _storage in self.operands]
+
+    def describe(self) -> str:
+        if self.kind != "rt":
+            return "%s %s (%s)" % (self.kind, self.result_id, self.result_storage)
+        pattern = self.template.render() if self.template is not None else "?"
+        suffix = " ; defines %s" % self.defines_variable if self.defines_variable else ""
+        return "%s%s" % (pattern, suffix)
+
+
+@dataclass
+class StatementCode:
+    """The code selected for one statement."""
+
+    statement: Statement
+    cost: int
+    instances: List[RTInstance] = field(default_factory=list)
+
+    def instruction_count(self) -> int:
+        return len(self.instances)
+
+
+# ---------------------------------------------------------------------------
+# Subject-tree construction
+# ---------------------------------------------------------------------------
+
+
+def build_subject_tree(statement: Statement, binding: ResourceBinding) -> SubjectNode:
+    """The subject tree for a statement, rooted at an ``ASSIGN`` node."""
+    destination = statement.destination
+    if destination.startswith("@"):
+        dest_label = destination[1:]
+    else:
+        dest_label = binding.storage_of(destination)
+    dest_node = SubjectNode(dest_label, payload=("dest", destination))
+    expr_node = _build_expr_subject(statement.expression, binding)
+    return SubjectNode("ASSIGN", [dest_node, expr_node])
+
+
+def _build_expr_subject(expr: IRNode, binding: ResourceBinding) -> SubjectNode:
+    if isinstance(expr, Const):
+        return SubjectNode("Const", const_value=expr.value, payload=("const", expr.value))
+    if isinstance(expr, VarRef):
+        storage = binding.storage_of(expr.name)
+        return SubjectNode(storage, payload=("var", expr.name))
+    if isinstance(expr, PortInput):
+        return SubjectNode(expr.port, payload=("port", expr.port))
+    if isinstance(expr, Op):
+        children = [_build_expr_subject(child, binding) for child in expr.operands]
+        return SubjectNode(expr.op, children)
+    raise CodeGenerationError("unexpected IR node %r" % type(expr).__name__)
+
+
+# ---------------------------------------------------------------------------
+# Cover -> RT instances
+# ---------------------------------------------------------------------------
+
+
+def _value_id(node: SubjectNode, serials: Dict[int, str]) -> str:
+    payload = node.payload
+    if isinstance(payload, tuple):
+        tag = payload[0]
+        if tag == "var":
+            return "var:%s" % payload[1]
+        if tag == "const":
+            return "const:%d" % payload[1]
+        if tag == "port":
+            return "port:%s" % payload[1]
+        if tag == "dest":
+            return "dest:%s" % payload[1]
+    key = id(node)
+    if key not in serials:
+        serials[key] = "tmp:%d" % len(serials)
+    return serials[key]
+
+
+def _instances_from_cover(
+    statement: Statement, reductions: List[Reduction]
+) -> List[RTInstance]:
+    serials: Dict[int, str] = {}
+    instances: List[RTInstance] = []
+    last_rt_for_node: Dict[int, RTInstance] = {}
+    root_expr_node: Optional[SubjectNode] = None
+    for reduction in reductions:
+        if reduction.rule.kind == RuleKind.START:
+            # ASSIGN root: remember which node carries the final value.
+            root_expr_node = reduction.node.children[1]
+            continue
+        if reduction.rule.kind != RuleKind.RT:
+            continue
+        node = reduction.node
+        instance = RTInstance(
+            kind="rt",
+            result_id=_value_id(node, serials),
+            result_storage=storage_of_nonterminal(reduction.rule.lhs),
+            operands=[
+                (_value_id(leaf_node, serials), storage_of_nonterminal(leaf_nonterm))
+                for leaf_node, leaf_nonterm in reduction.leaves
+            ],
+            rule=reduction.rule,
+            template=reduction.rule.template,
+            node=node,
+            operand_nodes=[leaf_node for leaf_node, _ in reduction.leaves],
+        )
+        instances.append(instance)
+        last_rt_for_node[id(node)] = instance
+    # The last RT computing the root expression's value also defines the
+    # statement's destination variable.
+    if root_expr_node is not None and id(root_expr_node) in last_rt_for_node:
+        last_rt_for_node[id(root_expr_node)].defines_variable = statement.destination
+    elif instances:
+        instances[-1].defines_variable = statement.destination
+    return instances
+
+
+def select_statement(
+    statement: Statement, selector: CodeSelector, binding: ResourceBinding
+) -> StatementCode:
+    """Optimal RT cover of one statement."""
+    subject = build_subject_tree(statement, binding)
+    try:
+        result = selector.select(subject)
+    except SelectionError as error:
+        raise CodeGenerationError(
+            "statement %r cannot be covered on %s: %s"
+            % (str(statement), selector.grammar.processor, error)
+        )
+    instances = _instances_from_cover(statement, result.reductions)
+    if not instances:
+        # A statement like "a = b" where source and destination share their
+        # storage may be covered entirely by zero-cost rules; it still needs
+        # one data move to be observable, so we keep the cover empty and let
+        # the caller treat it as free.
+        pass
+    return StatementCode(statement=statement, cost=result.cost, instances=instances)
+
+
+def select_block(
+    block: BasicBlock, selector: CodeSelector, binding: ResourceBinding
+) -> List[StatementCode]:
+    """Select code for every statement of a basic block, in order."""
+    return [select_statement(statement, selector, binding) for statement in block.statements]

@@ -1,0 +1,86 @@
+"""Register spill insertion.
+
+After scheduling, an intermediate result may still be clobbered while live
+(the data path simply does not have enough registers for the chosen cover).
+This pass walks the scheduled RT sequence, tracks which value currently
+occupies every storage resource, and inserts spill stores / reloads through
+the spill memory whenever a live value would be overwritten.  Tree parsing
+itself cannot account for spills (a limitation the paper notes in section
+3.2), so this pass restores correctness at a small, measurable code-size
+cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.codegen.selection import RTInstance
+
+
+def insert_spills(
+    instances: List[RTInstance], spill_storage: Optional[str]
+) -> List[RTInstance]:
+    """The instruction sequence with spill stores and reloads inserted.
+
+    ``spill_storage`` names the memory used for spilled values; when the
+    processor has no memory (``None``), clobbered values are recomputed from
+    scratch by keeping the sequence unchanged (correct for tree-shaped
+    covers because every value has a single use site in program order).
+    """
+    if not instances:
+        return []
+
+    # For every value id, the indices of instructions that read it.
+    uses: Dict[str, List[int]] = {}
+    for index, instance in enumerate(instances):
+        for value_id, _storage in instance.operands:
+            uses.setdefault(value_id, []).append(index)
+
+    output: List[RTInstance] = []
+    storage_holds: Dict[str, str] = {}
+    spilled: Set[str] = set()
+
+    for index, instance in enumerate(instances):
+        # Reload any operand whose value was spilled away.
+        for value_id, storage in instance.operands:
+            if value_id.startswith("tmp:") and storage_holds.get(storage) != value_id:
+                if value_id in spilled and spill_storage is not None:
+                    output.append(
+                        RTInstance(
+                            kind="spill_reload",
+                            result_id=value_id,
+                            result_storage=storage,
+                            operands=[(value_id, spill_storage)],
+                        )
+                    )
+                    storage_holds[storage] = value_id
+        # Spill a live temporary that this instruction would clobber.
+        current = storage_holds.get(instance.result_storage)
+        if (
+            current is not None
+            and current != instance.result_id
+            and current.startswith("tmp:")
+            and _used_after(uses, current, index)
+            and spill_storage is not None
+        ):
+            output.append(
+                RTInstance(
+                    kind="spill_store",
+                    result_id=current,
+                    result_storage=spill_storage,
+                    operands=[(current, instance.result_storage)],
+                )
+            )
+            spilled.add(current)
+        output.append(instance)
+        storage_holds[instance.result_storage] = instance.result_id
+    return output
+
+
+def _used_after(uses: Dict[str, List[int]], value_id: str, index: int) -> bool:
+    return any(use > index for use in uses.get(value_id, []))
+
+
+def count_spills(instances: List[RTInstance]) -> int:
+    """Number of spill transfers (stores plus reloads) in a sequence."""
+    return sum(1 for instance in instances if instance.kind != "rt")

@@ -1,0 +1,23 @@
+"""DSPStone benchmark kernels.
+
+The code-quality experiment of the paper (figure 2) compiles basic program
+blocks taken from the DSPStone benchmark suite for the TMS320C25.  This
+package provides those ten kernels, written as straight-line basic blocks
+in the reproduction's small C-like source language.
+"""
+
+from repro.dspstone.kernels import (
+    FIGURE2_ORDER,
+    Kernel,
+    all_kernel_names,
+    get_kernel,
+    kernel_program,
+)
+
+__all__ = [
+    "FIGURE2_ORDER",
+    "Kernel",
+    "all_kernel_names",
+    "get_kernel",
+    "kernel_program",
+]

@@ -1,0 +1,224 @@
+"""The ten DSPStone kernels used in figure 2 of the paper.
+
+Each kernel is the straight-line basic block of the corresponding DSPStone
+benchmark (loop bodies unrolled to a fixed, documented size), written in
+the reproduction's C-like source language.  The fixed sizes are recorded in
+``Kernel.parameters`` so the benchmark harness and the hand-written
+reference sizes agree on the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.frontend.lowering import lower_to_program
+from repro.ir.program import Program
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """One DSPStone kernel: name, source text and workload parameters."""
+
+    name: str
+    source: str
+    description: str
+    parameters: Dict[str, int] = field(default_factory=dict)
+
+
+def _real_update() -> Kernel:
+    source = """
+    int a, b, c, d;
+    d = c + a * b;
+    """
+    return Kernel(
+        name="real_update",
+        source=source,
+        description="single real update d = c + a * b",
+    )
+
+
+def _complex_multiply() -> Kernel:
+    source = """
+    int ar, ai, br, bi, cr, ci;
+    cr = ar * br - ai * bi;
+    ci = ar * bi + ai * br;
+    """
+    return Kernel(
+        name="complex_multiply",
+        source=source,
+        description="complex multiplication (c = a * b)",
+    )
+
+
+def _complex_update() -> Kernel:
+    source = """
+    int ar, ai, br, bi, cr, ci, dr, di;
+    dr = cr + ar * br - ai * bi;
+    di = ci + ar * bi + ai * br;
+    """
+    return Kernel(
+        name="complex_update",
+        source=source,
+        description="complex update d = c + a * b",
+    )
+
+
+def _n_real_updates(n: int = 4) -> Kernel:
+    lines = ["int a[%d], b[%d], c[%d], d[%d];" % (n, n, n, n)]
+    for i in range(n):
+        lines.append("d[%d] = c[%d] + a[%d] * b[%d];" % (i, i, i, i))
+    return Kernel(
+        name="n_real_updates",
+        source="\n".join(lines),
+        description="N real updates d[i] = c[i] + a[i] * b[i]",
+        parameters={"N": n},
+    )
+
+
+def _n_complex_updates(n: int = 2) -> Kernel:
+    lines = [
+        "int ar[%d], ai[%d], br[%d], bi[%d], cr[%d], ci[%d], dr[%d], di[%d];"
+        % (n, n, n, n, n, n, n, n)
+    ]
+    for i in range(n):
+        lines.append(
+            "dr[%d] = cr[%d] + ar[%d] * br[%d] - ai[%d] * bi[%d];" % (i, i, i, i, i, i)
+        )
+        lines.append(
+            "di[%d] = ci[%d] + ar[%d] * bi[%d] + ai[%d] * br[%d];" % (i, i, i, i, i, i)
+        )
+    return Kernel(
+        name="n_complex_updates",
+        source="\n".join(lines),
+        description="N complex updates d[i] = c[i] + a[i] * b[i]",
+        parameters={"N": n},
+    )
+
+
+def _fir(taps: int = 8) -> Kernel:
+    lines = ["int x[%d], h[%d], y;" % (taps, taps)]
+    terms = " + ".join("x[%d] * h[%d]" % (i, i) for i in range(taps))
+    lines.append("y = %s;" % terms)
+    return Kernel(
+        name="fir",
+        source="\n".join(lines),
+        description="FIR filter inner block (%d taps)" % taps,
+        parameters={"taps": taps},
+    )
+
+
+def _biquad_one() -> Kernel:
+    source = """
+    int x, y, w, w1, w2, a1, a2, b0, b1, b2;
+    w = x - a1 * w1 - a2 * w2;
+    y = b0 * w + b1 * w1 + b2 * w2;
+    """
+    return Kernel(
+        name="biquad_one",
+        source=source,
+        description="one biquad IIR section (direct form II)",
+    )
+
+
+def _biquad_n(sections: int = 4) -> Kernel:
+    n = sections
+    lines = [
+        "int x, y%d;" % (n - 1),
+        "int w[%d], w1[%d], w2[%d], a1[%d], a2[%d], b0[%d], b1[%d], b2[%d], s[%d];"
+        % (n, n, n, n, n, n, n, n, n),
+    ]
+    previous = "x"
+    for i in range(n):
+        lines.append(
+            "w[%d] = %s - a1[%d] * w1[%d] - a2[%d] * w2[%d];" % (i, previous, i, i, i, i)
+        )
+        # The last section writes the kernel output directly; inner sections
+        # feed the next section through s[i].
+        target = "y%d" % (n - 1) if i == n - 1 else "s[%d]" % i
+        lines.append(
+            "%s = b0[%d] * w[%d] + b1[%d] * w1[%d] + b2[%d] * w2[%d];"
+            % (target, i, i, i, i, i, i)
+        )
+        previous = "s[%d]" % i
+    return Kernel(
+        name="biquad_n",
+        source="\n".join(lines),
+        description="cascade of N biquad IIR sections",
+        parameters={"sections": n},
+    )
+
+
+def _dot_product(n: int = 4) -> Kernel:
+    lines = ["int a[%d], b[%d], z;" % (n, n)]
+    terms = " + ".join("a[%d] * b[%d]" % (i, i) for i in range(n))
+    lines.append("z = %s;" % terms)
+    return Kernel(
+        name="dot_product",
+        source="\n".join(lines),
+        description="dot product of two N-vectors",
+        parameters={"N": n},
+    )
+
+
+def _convolution(n: int = 8) -> Kernel:
+    lines = ["int x[%d], h[%d], y;" % (n, n)]
+    terms = " + ".join("x[%d] * h[%d]" % (i, n - 1 - i) for i in range(n))
+    lines.append("y = %s;" % terms)
+    return Kernel(
+        name="convolution",
+        source="\n".join(lines),
+        description="convolution sum of length N",
+        parameters={"N": n},
+    )
+
+
+_KERNELS: Dict[str, Kernel] = {
+    kernel.name: kernel
+    for kernel in (
+        _real_update(),
+        _complex_multiply(),
+        _complex_update(),
+        _n_real_updates(),
+        _n_complex_updates(),
+        _fir(),
+        _biquad_one(),
+        _biquad_n(),
+        _dot_product(),
+        _convolution(),
+    )
+}
+
+# The left-to-right order of figure 2 in the paper.
+FIGURE2_ORDER: List[str] = [
+    "real_update",
+    "complex_multiply",
+    "complex_update",
+    "n_real_updates",
+    "n_complex_updates",
+    "fir",
+    "biquad_one",
+    "biquad_n",
+    "dot_product",
+    "convolution",
+]
+
+
+def all_kernel_names() -> List[str]:
+    """Kernel names in figure-2 order."""
+    return list(FIGURE2_ORDER)
+
+
+def get_kernel(name: str) -> Kernel:
+    try:
+        return _KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown kernel %r; available: %s" % (name, ", ".join(FIGURE2_ORDER))
+        )
+
+
+def kernel_program(name: str) -> Program:
+    """Parse and lower a kernel into its IR program."""
+    kernel = get_kernel(name)
+    return lower_to_program(kernel.source, name=kernel.name)

@@ -1,0 +1,27 @@
+"""Extension of the extracted RT template base (section 3 of the paper).
+
+The template base delivered by instruction-set extraction is extended by
+further templates that cannot be derived from the processor model directly:
+
+* **commutativity** -- for each template containing a commutative operator,
+  a complementary template with swapped arguments is added, avoiding code
+  quality loss due to badly structured expression trees (important for the
+  sum-of-products computations dominant in DSP code);
+* **rewrite rules** -- application-specific algebraic equivalences retrieved
+  from an external transformation library (e.g. ``a - b == a + (-b)``).
+"""
+
+from repro.expansion.commutativity import expand_commutative
+from repro.expansion.rewrite import RewriteRule, apply_rewrite_rules
+from repro.expansion.library import default_transformation_library, identity_rules
+from repro.expansion.expander import ExpansionOptions, expand_template_base
+
+__all__ = [
+    "ExpansionOptions",
+    "RewriteRule",
+    "apply_rewrite_rules",
+    "default_transformation_library",
+    "expand_commutative",
+    "expand_template_base",
+    "identity_rules",
+]

@@ -1,0 +1,67 @@
+"""Commutativity expansion of RT templates."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.ise.routes import COMMUTATIVE_OPERATORS
+from repro.ise.templates import OpNode, Pattern, RTTemplate
+
+
+def swap_variants(pattern: Pattern) -> List[Pattern]:
+    """All distinct patterns obtainable by swapping the operands of
+    commutative operator nodes anywhere in ``pattern`` (excluding the
+    original pattern itself)."""
+    variants = _variants(pattern)
+    return [variant for variant in variants if str(variant) != str(pattern)]
+
+
+def _variants(pattern: Pattern) -> List[Pattern]:
+    if not isinstance(pattern, OpNode):
+        return [pattern]
+    child_variant_lists = [_variants(child) for child in pattern.operands]
+    combos: List[Pattern] = []
+    for combo in _product(child_variant_lists):
+        combos.append(OpNode(pattern.op, tuple(combo)))
+        if pattern.op in COMMUTATIVE_OPERATORS and len(combo) == 2:
+            combos.append(OpNode(pattern.op, (combo[1], combo[0])))
+    return _unique(combos)
+
+
+def _product(lists):
+    if not lists:
+        yield []
+        return
+    for head in lists[0]:
+        for tail in _product(lists[1:]):
+            yield [head] + tail
+
+
+def _unique(patterns: List[Pattern]) -> List[Pattern]:
+    seen: Set[str] = set()
+    unique: List[Pattern] = []
+    for pattern in patterns:
+        key = str(pattern)
+        if key not in seen:
+            seen.add(key)
+            unique.append(pattern)
+    return unique
+
+
+def expand_commutative(templates: List[RTTemplate]) -> List[RTTemplate]:
+    """Complementary templates with swapped arguments for every commutative
+    operator occurrence.  The original templates are not included in the
+    returned list."""
+    additional: List[RTTemplate] = []
+    for template in templates:
+        for variant in swap_variants(template.pattern):
+            additional.append(
+                RTTemplate(
+                    destination=template.destination,
+                    pattern=variant,
+                    condition=template.condition,
+                    origin="commutativity",
+                    addressing=template.addressing,
+                )
+            )
+    return additional

@@ -1,0 +1,78 @@
+"""The default transformation library.
+
+The paper mentions an external transformation library from which
+application-specific rewrite rules are retrieved.  The default library
+shipped here contains target-independent algebraic equivalences that are
+useful for fixed-point DSP code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.expansion.rewrite import RewriteRule, Slot
+from repro.ise.templates import ConstLeaf, OpNode
+
+
+def default_transformation_library() -> List[RewriteRule]:
+    """Rewrite rules applied during template-base extension.
+
+    Each rule reads: an IR tree of shape ``source`` can be computed by a
+    hardware pattern of shape ``hardware``.
+    """
+    x, y = Slot(0), Slot(1)
+    return [
+        # a - b  can be computed by  a + (-b)
+        RewriteRule(
+            name="sub_via_add_neg",
+            hardware_schema=OpNode("add", (x, OpNode("neg", (y,)))),
+            source_schema=OpNode("sub", (x, y)),
+        ),
+        # -a  can be computed by  0 - a
+        RewriteRule(
+            name="neg_via_sub_zero",
+            hardware_schema=OpNode("sub", (ConstLeaf(0), x)),
+            source_schema=OpNode("neg", (x,)),
+        ),
+        # a + (-b)  can be computed by  a - b
+        RewriteRule(
+            name="add_neg_via_sub",
+            hardware_schema=OpNode("sub", (x, y)),
+            source_schema=OpNode("add", (x, OpNode("neg", (y,)))),
+        ),
+        # a << 1  can be computed by  a + a
+        RewriteRule(
+            name="shl1_via_add",
+            hardware_schema=OpNode("add", (x, x)),
+            source_schema=OpNode("shl", (x, ConstLeaf(1))),
+        ),
+        # a * 2  can be computed by  a + a
+        RewriteRule(
+            name="mul2_via_add",
+            hardware_schema=OpNode("add", (x, x)),
+            source_schema=OpNode("mul", (x, ConstLeaf(2))),
+        ),
+    ]
+
+
+def identity_rules() -> List[RewriteRule]:
+    """Strength-reduction identities (``a * 1``, ``a + 0``).
+
+    These rules match *every* hardware template (their hardware schema is a
+    bare pattern variable), so they inflate the template base considerably;
+    they are therefore not part of the default library but can be added
+    explicitly via :class:`repro.expansion.ExpansionOptions`.
+    """
+    x = Slot(0)
+    return [
+        RewriteRule(
+            name="mul1_identity",
+            hardware_schema=x,
+            source_schema=OpNode("mul", (x, ConstLeaf(1))),
+        ),
+        RewriteRule(
+            name="add0_identity",
+            hardware_schema=x,
+            source_schema=OpNode("add", (x, ConstLeaf(0))),
+        ),
+    ]

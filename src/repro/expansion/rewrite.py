@@ -1,0 +1,105 @@
+"""Rewrite-rule based template expansion.
+
+A rewrite rule states that an expression-tree shape (the *source* schema,
+what the compiler's IR may contain) can be computed by a hardware pattern
+shape (the *hardware* schema).  For every extracted RT template whose
+pattern matches the hardware schema, a new template with the source schema
+(instantiated with the matched sub-patterns) is added: the processor can
+then cover IR nodes of the source shape directly.
+
+Schemas are pattern trees in which :class:`Slot` leaves act as pattern
+variables; equal slot indices must bind to structurally equal sub-patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.ise.templates import ConstLeaf, OpNode, Pattern, RTTemplate
+
+
+@dataclass(frozen=True)
+class Slot(Pattern):
+    """A pattern variable inside a rewrite-rule schema."""
+
+    index: int
+
+    def __str__(self) -> str:
+        return "$%d" % self.index
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """``source_schema`` (IR shape) is computable by ``hardware_schema``."""
+
+    name: str
+    hardware_schema: Pattern
+    source_schema: Pattern
+
+    def apply(self, template: RTTemplate) -> Optional[RTTemplate]:
+        """A new template for the source shape, or ``None`` when the
+        template's pattern does not match the hardware schema."""
+        bindings: Dict[int, Pattern] = {}
+        if not _match(self.hardware_schema, template.pattern, bindings):
+            return None
+        rewritten = _instantiate(self.source_schema, bindings)
+        if rewritten is None:
+            return None
+        return RTTemplate(
+            destination=template.destination,
+            pattern=rewritten,
+            condition=template.condition,
+            origin="rewrite:%s" % self.name,
+            addressing=template.addressing,
+        )
+
+
+def _match(schema: Pattern, pattern: Pattern, bindings: Dict[int, Pattern]) -> bool:
+    if isinstance(schema, Slot):
+        bound = bindings.get(schema.index)
+        if bound is None:
+            bindings[schema.index] = pattern
+            return True
+        return str(bound) == str(pattern)
+    if isinstance(schema, OpNode):
+        if not isinstance(pattern, OpNode) or pattern.op != schema.op:
+            return False
+        if len(pattern.operands) != len(schema.operands):
+            return False
+        return all(
+            _match(sub_schema, sub_pattern, bindings)
+            for sub_schema, sub_pattern in zip(schema.operands, pattern.operands)
+        )
+    if isinstance(schema, ConstLeaf):
+        return isinstance(pattern, ConstLeaf) and pattern.value == schema.value
+    # Exact leaf equality for any other leaf kind used in a schema.
+    return type(schema) is type(pattern) and str(schema) == str(pattern)
+
+
+def _instantiate(schema: Pattern, bindings: Dict[int, Pattern]) -> Optional[Pattern]:
+    if isinstance(schema, Slot):
+        return bindings.get(schema.index)
+    if isinstance(schema, OpNode):
+        children: Tuple[Pattern, ...] = ()
+        for child_schema in schema.operands:
+            child = _instantiate(child_schema, bindings)
+            if child is None:
+                return None
+            children = children + (child,)
+        return OpNode(schema.op, children)
+    return schema
+
+
+def apply_rewrite_rules(
+    templates: List[RTTemplate], rules: List[RewriteRule]
+) -> List[RTTemplate]:
+    """Additional templates obtained by applying every rule to every
+    template.  Duplicates of existing patterns are filtered by the caller."""
+    additional: List[RTTemplate] = []
+    for template in templates:
+        for rule in rules:
+            rewritten = rule.apply(template)
+            if rewritten is not None and str(rewritten.pattern) != str(template.pattern):
+                additional.append(rewritten)
+    return additional

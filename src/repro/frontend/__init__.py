@@ -1,0 +1,44 @@
+"""Source-language frontend.
+
+RECORD compiles high-level language programs; the experiments of the paper
+use basic blocks from the DSPStone benchmark suite.  This package provides
+a small C-like expression language sufficient for those kernels: integer
+scalar and array declarations followed by straight-line assignment
+statements.  The frontend lowers source text into the IR of
+:mod:`repro.ir` (one basic block of expression-tree statements).
+"""
+
+from repro.frontend.ast import (
+    ArrayDecl,
+    Assignment,
+    SourceBinary,
+    SourceConst,
+    SourceExpr,
+    SourceIndex,
+    SourceProgram,
+    SourceUnary,
+    SourceVar,
+    VarDecl,
+)
+from repro.frontend.lexer import SourceSyntaxError, tokenize_source
+from repro.frontend.parser import parse_source
+from repro.frontend.lowering import LoweringError, lower_source, lower_to_program
+
+__all__ = [
+    "ArrayDecl",
+    "Assignment",
+    "LoweringError",
+    "SourceBinary",
+    "SourceConst",
+    "SourceExpr",
+    "SourceIndex",
+    "SourceProgram",
+    "SourceSyntaxError",
+    "SourceUnary",
+    "SourceVar",
+    "VarDecl",
+    "lower_source",
+    "lower_to_program",
+    "parse_source",
+    "tokenize_source",
+]

@@ -1,0 +1,82 @@
+"""AST of the small C-like source language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+class SourceExpr:
+    """Base class of source-language expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SourceConst(SourceExpr):
+    value: int
+
+
+@dataclass(frozen=True)
+class SourceVar(SourceExpr):
+    name: str
+
+
+@dataclass(frozen=True)
+class SourceIndex(SourceExpr):
+    """Array element access ``name[index]``."""
+
+    name: str
+    index: SourceExpr
+
+
+@dataclass(frozen=True)
+class SourceUnary(SourceExpr):
+    operator: str
+    operand: SourceExpr
+
+
+@dataclass(frozen=True)
+class SourceBinary(SourceExpr):
+    operator: str
+    left: SourceExpr
+    right: SourceExpr
+
+
+@dataclass
+class VarDecl:
+    """``int name;``"""
+
+    name: str
+
+
+@dataclass
+class ArrayDecl:
+    """``int name[size];``"""
+
+    name: str
+    size: int
+
+
+@dataclass
+class Assignment:
+    """``target = expression;`` where target is a scalar or array element."""
+
+    target_name: str
+    target_index: SourceExpr = None
+    expression: SourceExpr = None
+
+
+@dataclass
+class SourceProgram:
+    """One translation unit: declarations followed by assignments."""
+
+    name: str
+    scalars: List[VarDecl] = field(default_factory=list)
+    arrays: List[ArrayDecl] = field(default_factory=list)
+    assignments: List[Assignment] = field(default_factory=list)
+
+    def declared_names(self) -> Tuple[str, ...]:
+        names = [decl.name for decl in self.scalars]
+        names.extend(decl.name for decl in self.arrays)
+        return tuple(names)

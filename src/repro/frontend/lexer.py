@@ -1,0 +1,90 @@
+"""Lexer for the small C-like source language."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+class SourceSyntaxError(Exception):
+    """Raised for lexical or syntactic errors in source programs."""
+
+    def __init__(self, message: str, line: int = 0):
+        if line:
+            message = "line %d: %s" % (line, message)
+        super().__init__(message)
+        self.line = line
+
+
+_KEYWORDS = {"int"}
+
+# Longest first so that "<<" wins over "<".
+_SYMBOLS = ["<<", ">>", "==", "!=", "<=", ">=",
+            "+", "-", "*", "/", "%", "&", "|", "^", "~",
+            "=", ";", ",", "(", ")", "[", "]", "<", ">"]
+
+
+@dataclass(frozen=True)
+class SourceToken:
+    kind: str  # "ident" | "number" | "keyword" | "symbol" | "eof"
+    text: str
+    line: int
+
+
+def tokenize_source(text: str) -> List[SourceToken]:
+    """Tokenize source text; ``//`` and ``/* ... */`` comments are skipped."""
+    tokens: List[SourceToken] = []
+    index = 0
+    line = 1
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            continue
+        if text.startswith("//", index):
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if text.startswith("/*", index):
+            end = text.find("*/", index + 2)
+            if end < 0:
+                raise SourceSyntaxError("unterminated block comment", line)
+            line += text.count("\n", index, end)
+            index = end + 2
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            while index < length and (text[index].isalnum() or text[index] == "_"):
+                index += 1
+            word = text[start:index]
+            kind = "keyword" if word in _KEYWORDS else "ident"
+            tokens.append(SourceToken(kind, word, line))
+            continue
+        if char.isdigit():
+            start = index
+            while index < length and (text[index].isalnum()):
+                index += 1
+            word = text[start:index]
+            try:
+                int(word, 0)
+            except ValueError:
+                raise SourceSyntaxError("invalid number %r" % word, line)
+            tokens.append(SourceToken("number", word, line))
+            continue
+        matched = False
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, index):
+                tokens.append(SourceToken("symbol", symbol, line))
+                index += len(symbol)
+                matched = True
+                break
+        if matched:
+            continue
+        raise SourceSyntaxError("unexpected character %r" % char, line)
+    tokens.append(SourceToken("eof", "", line))
+    return tokens

@@ -1,0 +1,148 @@
+"""Lowering of source ASTs into the expression-tree IR."""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from repro.frontend.ast import (
+    Assignment,
+    SourceBinary,
+    SourceConst,
+    SourceExpr,
+    SourceIndex,
+    SourceProgram,
+    SourceUnary,
+    SourceVar,
+)
+from repro.frontend.parser import parse_source
+from repro.ir.expr import Const, IRNode, Op, VarRef
+from repro.ir.program import BasicBlock, Program, Statement
+
+_BINARY_NAMES = {
+    "+": "add",
+    "-": "sub",
+    "*": "mul",
+    "/": "div",
+    "%": "mod",
+    "&": "and",
+    "|": "or",
+    "^": "xor",
+    "<<": "shl",
+    ">>": "shr",
+}
+
+_UNARY_NAMES = {
+    "-": "neg",
+    "~": "not",
+}
+
+
+class LoweringError(Exception):
+    """Raised when a source program cannot be lowered (undeclared variables,
+    non-constant array indices, out-of-range accesses)."""
+
+
+def lower_source(program: SourceProgram) -> Program:
+    """Lower a parsed source program to a single-basic-block IR program.
+
+    Array elements with constant indices become distinct variables
+    ``name[i]`` (the paper's basic blocks are loop bodies with the loop
+    fully resolved); arrays and scalars are later bound to storage
+    resources by :mod:`repro.ir.binding`.
+    """
+    scalars: Set[str] = {decl.name for decl in program.scalars}
+    arrays: Dict[str, int] = {decl.name: decl.size for decl in program.arrays}
+    block = BasicBlock(name="entry")
+    for assignment in program.assignments:
+        block.statements.append(_lower_assignment(assignment, scalars, arrays))
+    ir_program = Program(
+        name=program.name,
+        blocks=[block],
+        scalars=sorted(scalars),
+        arrays=dict(arrays),
+    )
+    return ir_program
+
+
+def lower_to_program(source_text: str, name: str = "program") -> Program:
+    """Parse and lower source text in one step."""
+    return lower_source(parse_source(source_text, name=name))
+
+
+def _lower_assignment(
+    assignment: Assignment, scalars: Set[str], arrays: Dict[str, int]
+) -> Statement:
+    destination = _lower_target(assignment, scalars, arrays)
+    expression = _lower_expr(assignment.expression, scalars, arrays)
+    return Statement(destination=destination, expression=expression)
+
+
+def _lower_target(
+    assignment: Assignment, scalars: Set[str], arrays: Dict[str, int]
+) -> str:
+    name = assignment.target_name
+    if assignment.target_index is None:
+        if name not in scalars:
+            raise LoweringError("assignment to undeclared scalar %r" % name)
+        return name
+    return _array_element(name, assignment.target_index, arrays)
+
+
+def _lower_expr(expr: SourceExpr, scalars: Set[str], arrays: Dict[str, int]) -> IRNode:
+    if isinstance(expr, SourceConst):
+        return Const(expr.value)
+    if isinstance(expr, SourceVar):
+        if expr.name not in scalars:
+            raise LoweringError("use of undeclared scalar %r" % expr.name)
+        return VarRef(expr.name)
+    if isinstance(expr, SourceIndex):
+        return VarRef(_array_element(expr.name, expr.index, arrays))
+    if isinstance(expr, SourceUnary):
+        name = _UNARY_NAMES.get(expr.operator)
+        if name is None:
+            raise LoweringError("unsupported unary operator %r" % expr.operator)
+        return Op(name, (_lower_expr(expr.operand, scalars, arrays),))
+    if isinstance(expr, SourceBinary):
+        name = _BINARY_NAMES.get(expr.operator)
+        if name is None:
+            raise LoweringError("unsupported binary operator %r" % expr.operator)
+        return Op(
+            name,
+            (
+                _lower_expr(expr.left, scalars, arrays),
+                _lower_expr(expr.right, scalars, arrays),
+            ),
+        )
+    raise LoweringError("unexpected source expression %r" % type(expr).__name__)
+
+
+def _array_element(name: str, index: SourceExpr, arrays: Dict[str, int]) -> str:
+    if name not in arrays:
+        raise LoweringError("use of undeclared array %r" % name)
+    value = _constant_index(index)
+    if value < 0 or value >= arrays[name]:
+        raise LoweringError(
+            "index %d out of range for array %r of size %d" % (value, name, arrays[name])
+        )
+    return "%s[%d]" % (name, value)
+
+
+def _constant_index(index: SourceExpr) -> int:
+    if isinstance(index, SourceConst):
+        return index.value
+    if isinstance(index, SourceBinary):
+        left = _constant_index(index.left)
+        right = _constant_index(index.right)
+        name = _BINARY_NAMES.get(index.operator)
+        if name == "add":
+            return left + right
+        if name == "sub":
+            return left - right
+        if name == "mul":
+            return left * right
+        raise LoweringError("unsupported operator %r in array index" % index.operator)
+    if isinstance(index, SourceUnary) and index.operator == "-":
+        return -_constant_index(index.operand)
+    raise LoweringError(
+        "array indices must be compile-time constants in straight-line kernels"
+    )

@@ -1,0 +1,149 @@
+"""Parser for the small C-like source language."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.frontend.ast import (
+    ArrayDecl,
+    Assignment,
+    SourceBinary,
+    SourceConst,
+    SourceExpr,
+    SourceIndex,
+    SourceProgram,
+    SourceUnary,
+    SourceVar,
+    VarDecl,
+)
+from repro.frontend.lexer import SourceSyntaxError, SourceToken, tokenize_source
+
+_BINARY_LEVELS = [
+    ["|"],
+    ["^"],
+    ["&"],
+    ["<<", ">>"],
+    ["+", "-"],
+    ["*", "/", "%"],
+]
+
+
+class _SourceParser:
+    def __init__(self, tokens: List[SourceToken]):
+        self._tokens = tokens
+        self._position = 0
+
+    def _peek(self) -> SourceToken:
+        return self._tokens[self._position]
+
+    def _advance(self) -> SourceToken:
+        token = self._tokens[self._position]
+        if token.kind != "eof":
+            self._position += 1
+        return token
+
+    def _error(self, message: str) -> SourceSyntaxError:
+        return SourceSyntaxError(message, self._peek().line)
+
+    def _expect_symbol(self, symbol: str) -> None:
+        token = self._peek()
+        if token.kind != "symbol" or token.text != symbol:
+            raise self._error("expected %r, found %r" % (symbol, token.text))
+        self._advance()
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind != "ident":
+            raise self._error("expected identifier, found %r" % token.text)
+        return self._advance().text
+
+    def _expect_number(self) -> int:
+        token = self._peek()
+        if token.kind != "number":
+            raise self._error("expected number, found %r" % token.text)
+        return int(self._advance().text, 0)
+
+    # -- grammar ------------------------------------------------------------------
+
+    def parse_program(self, name: str) -> SourceProgram:
+        program = SourceProgram(name=name)
+        while self._peek().kind != "eof":
+            token = self._peek()
+            if token.kind == "keyword" and token.text == "int":
+                self._parse_declaration(program)
+            else:
+                program.assignments.append(self._parse_assignment())
+        return program
+
+    def _parse_declaration(self, program: SourceProgram) -> None:
+        self._advance()  # 'int'
+        while True:
+            name = self._expect_ident()
+            if self._peek().kind == "symbol" and self._peek().text == "[":
+                self._advance()
+                size = self._expect_number()
+                self._expect_symbol("]")
+                program.arrays.append(ArrayDecl(name=name, size=size))
+            else:
+                program.scalars.append(VarDecl(name=name))
+            token = self._peek()
+            if token.kind == "symbol" and token.text == ",":
+                self._advance()
+                continue
+            self._expect_symbol(";")
+            return
+
+    def _parse_assignment(self) -> Assignment:
+        name = self._expect_ident()
+        index: Optional[SourceExpr] = None
+        if self._peek().kind == "symbol" and self._peek().text == "[":
+            self._advance()
+            index = self._parse_expression()
+            self._expect_symbol("]")
+        self._expect_symbol("=")
+        expression = self._parse_expression()
+        self._expect_symbol(";")
+        return Assignment(target_name=name, target_index=index, expression=expression)
+
+    def _parse_expression(self, level: int = 0) -> SourceExpr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        left = self._parse_expression(level + 1)
+        operators = _BINARY_LEVELS[level]
+        while self._peek().kind == "symbol" and self._peek().text in operators:
+            operator = self._advance().text
+            right = self._parse_expression(level + 1)
+            left = SourceBinary(operator=operator, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> SourceExpr:
+        token = self._peek()
+        if token.kind == "symbol" and token.text in ("-", "~"):
+            self._advance()
+            return SourceUnary(operator=token.text, operand=self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> SourceExpr:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            return SourceConst(value=int(token.text, 0))
+        if token.kind == "symbol" and token.text == "(":
+            self._advance()
+            expression = self._parse_expression()
+            self._expect_symbol(")")
+            return expression
+        if token.kind == "ident":
+            name = self._advance().text
+            if self._peek().kind == "symbol" and self._peek().text == "[":
+                self._advance()
+                index = self._parse_expression()
+                self._expect_symbol("]")
+                return SourceIndex(name=name, index=index)
+            return SourceVar(name=name)
+        raise self._error("unexpected token %r in expression" % token.text)
+
+
+def parse_source(text: str, name: str = "program") -> SourceProgram:
+    """Parse a source program into its AST."""
+    return _SourceParser(tokenize_source(text)).parse_program(name)

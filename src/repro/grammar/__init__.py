@@ -1,0 +1,37 @@
+"""Tree grammars for code selection (section 3.1 of the paper).
+
+A tree grammar is a quintuple ``G = (sigma_T, sigma_N, S, R, c)`` of
+terminals, non-terminals, a start symbol, rules and a cost function.  The
+extended RT template base of a processor is translated into such a grammar:
+
+* terminals are ``ASSIGN`` plus one symbol per sequential component,
+  primary port, hardware operator and hardwired constant;
+* non-terminals are ``START`` plus one symbol per sequential component and
+  primary port (anything that can hold an intermediate result);
+* *start rules* match any ET destination, *RT rules* correspond to the RT
+  templates, and *stop rules* terminate derivations at storage leaves;
+* RT rules cost 1 (single-cycle RTs), start and stop rules cost 0.
+"""
+
+from repro.grammar.grammar import (
+    PatNonterm,
+    PatTerm,
+    PatternNode,
+    Rule,
+    RuleKind,
+    TreeGrammar,
+)
+from repro.grammar.construct import GrammarConstructionError, build_tree_grammar
+from repro.grammar.bnf import grammar_to_bnf
+
+__all__ = [
+    "GrammarConstructionError",
+    "PatNonterm",
+    "PatTerm",
+    "PatternNode",
+    "Rule",
+    "RuleKind",
+    "TreeGrammar",
+    "build_tree_grammar",
+    "grammar_to_bnf",
+]

@@ -1,0 +1,49 @@
+"""Backus-Naur style export of tree grammars.
+
+The paper feeds a BNF tree-grammar specification to the iburg tree-parser
+generator.  This module produces the analogous textual specification for
+our grammars; it is consumed by :mod:`repro.selector.emit` when generating a
+stand-alone matcher module and is also useful for debugging and golden
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.grammar.grammar import PatNonterm, PatTerm, PatternNode, TreeGrammar
+
+
+def _render_pattern(pattern: PatternNode) -> str:
+    if isinstance(pattern, PatNonterm):
+        return pattern.name
+    if isinstance(pattern, PatTerm):
+        label = pattern.name
+        if pattern.value is not None:
+            label = "%s#%d" % (pattern.name, pattern.value)
+        if not pattern.operands:
+            return label
+        return "%s(%s)" % (label, ", ".join(_render_pattern(c) for c in pattern.operands))
+    raise TypeError("unexpected pattern node %r" % pattern)
+
+
+def grammar_to_bnf(grammar: TreeGrammar) -> str:
+    """A human-readable BNF-style listing of the grammar."""
+    lines: List[str] = []
+    lines.append("%% tree grammar for processor %s" % grammar.processor)
+    lines.append("%start " + grammar.start)
+    lines.append("%term " + " ".join(sorted(grammar.terminals)))
+    lines.append("%nonterm " + " ".join(sorted(grammar.nonterminals)))
+    lines.append("%%")
+    for rule in grammar.rules:
+        lines.append(
+            "%s: %s = %d (%d); %% %s"
+            % (
+                rule.lhs,
+                _render_pattern(rule.pattern),
+                rule.index,
+                rule.cost,
+                rule.kind.value,
+            )
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,72 @@
+"""MIMOLA-inspired HDL frontend.
+
+The paper's RECORD compiler reads processor models written in the MIMOLA
+hardware description language.  The instruction-set extraction concepts are
+explicitly language independent (section 2), so this reproduction defines a
+compact MIMOLA-inspired HDL with the ingredients extraction needs:
+
+* modules with typed I/O ports and behaviour given as concurrent
+  (conditional) assignments, including ``case`` expressions for ALUs and
+  instruction decoders;
+* module kinds for registers, memories, instruction memories, mode
+  registers, hardwired constants, decoders and plain combinational logic;
+* primary processor ports;
+* a structure section with point-to-point connections, instruction-field
+  slices and (tristate) buses.
+
+See ``repro/targets/models`` for complete processor descriptions.
+"""
+
+from repro.hdl.ast import (
+    BehaviorAssign,
+    BinaryExpr,
+    CaseArm,
+    CaseExpr,
+    ConnectDecl,
+    BusDecl,
+    HdlExpr,
+    IdentExpr,
+    MemRefExpr,
+    ModuleDecl,
+    ModuleKind,
+    NumberExpr,
+    PortDecl,
+    PortDirection,
+    PortRef,
+    PrimaryPortDecl,
+    ProcessorModel,
+    SliceExpr,
+    UnaryExpr,
+)
+from repro.hdl.errors import HdlError, HdlParseError, HdlSemanticError
+from repro.hdl.lexer import Token, TokenKind, tokenize
+from repro.hdl.parser import parse_processor
+
+__all__ = [
+    "BehaviorAssign",
+    "BinaryExpr",
+    "BusDecl",
+    "CaseArm",
+    "CaseExpr",
+    "ConnectDecl",
+    "HdlError",
+    "HdlExpr",
+    "HdlParseError",
+    "HdlSemanticError",
+    "IdentExpr",
+    "MemRefExpr",
+    "ModuleDecl",
+    "ModuleKind",
+    "NumberExpr",
+    "PortDecl",
+    "PortDirection",
+    "PortRef",
+    "PrimaryPortDecl",
+    "ProcessorModel",
+    "SliceExpr",
+    "Token",
+    "TokenKind",
+    "UnaryExpr",
+    "parse_processor",
+    "tokenize",
+]

@@ -1,0 +1,242 @@
+"""Abstract syntax tree for the MIMOLA-inspired HDL.
+
+The AST deliberately mirrors the constructs instruction-set extraction
+consumes: modules (with kind, ports and concurrent conditional assignments),
+primary processor ports, and the structure section (connections, slices and
+buses).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class ModuleKind(enum.Enum):
+    """Classification of a hardware module.
+
+    The kind determines how extraction treats the module:
+
+    * ``COMBINATIONAL`` / ``DECODER`` modules are traversed transparently
+      (decoders only occur on the control path);
+    * ``REGISTER`` / ``MEMORY`` modules are sequential RT destinations and
+      sources;
+    * ``INSTRUCTION_MEMORY`` and ``MODE_REGISTER`` outputs are the primary
+      control-signal sources (instruction word bits, mode bits);
+    * ``CONSTANT`` modules provide hardwired constants.
+    """
+
+    COMBINATIONAL = "combinational"
+    DECODER = "decoder"
+    REGISTER = "register"
+    MEMORY = "memory"
+    INSTRUCTION_MEMORY = "instruction_memory"
+    MODE_REGISTER = "mode_register"
+    CONSTANT = "constant"
+
+
+class PortDirection(enum.Enum):
+    IN = "in"
+    OUT = "out"
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class HdlExpr:
+    """Base class for behaviour expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class NumberExpr(HdlExpr):
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class IdentExpr(HdlExpr):
+    """Reference to a port or local name of the enclosing module."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class MemRefExpr(HdlExpr):
+    """Reference to the implicit storage array of a ``memory`` module,
+    e.g. ``mem[addr]``."""
+
+    address: HdlExpr
+
+
+@dataclass(frozen=True)
+class UnaryExpr(HdlExpr):
+    """Unary operation: ``-``, ``~`` or ``!``."""
+
+    operator: str
+    operand: HdlExpr
+
+
+@dataclass(frozen=True)
+class BinaryExpr(HdlExpr):
+    """Binary operation over two sub-expressions."""
+
+    operator: str
+    left: HdlExpr
+    right: HdlExpr
+
+
+@dataclass(frozen=True)
+class SliceExpr(HdlExpr):
+    """Bit slice ``base[high:low]`` (inclusive bounds, LSB = 0)."""
+
+    base: HdlExpr
+    high: int
+    low: int
+
+
+@dataclass(frozen=True)
+class CaseArm:
+    """One arm of a ``case`` expression; ``None`` selectors mark ``else``."""
+
+    selector: Optional[int]
+    value: HdlExpr
+
+
+@dataclass(frozen=True)
+class CaseExpr(HdlExpr):
+    """``case sel when k => expr; ... else => expr; end``"""
+
+    selector: HdlExpr
+    arms: Tuple[CaseArm, ...]
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PortDecl:
+    """A module I/O port with a direction and bit width."""
+
+    name: str
+    direction: PortDirection
+    width: int
+
+
+@dataclass
+class BehaviorAssign:
+    """One concurrent assignment of a module behaviour.
+
+    ``target`` is either a port name (combinational output or register
+    state) or ``None`` with ``target_memory=True`` for memory writes
+    (``mem[addr] := value when cond``).
+    """
+
+    target: Optional[str]
+    value: HdlExpr
+    condition: Optional[HdlExpr] = None
+    target_memory: bool = False
+    target_address: Optional[HdlExpr] = None
+
+
+@dataclass
+class ModuleDecl:
+    """A hardware module: kind, ports and behaviour."""
+
+    name: str
+    kind: ModuleKind
+    ports: List[PortDecl] = field(default_factory=list)
+    behavior: List[BehaviorAssign] = field(default_factory=list)
+    # For memory modules: number of address bits (derived from the address
+    # expression width when omitted).
+    depth_bits: Optional[int] = None
+
+    def port(self, name: str) -> Optional[PortDecl]:
+        for port_decl in self.ports:
+            if port_decl.name == name:
+                return port_decl
+        return None
+
+
+@dataclass
+class PrimaryPortDecl:
+    """A primary processor port (pin), declared at the top level."""
+
+    name: str
+    direction: PortDirection
+    width: int
+
+
+@dataclass(frozen=True)
+class PortRef:
+    """Reference to ``module.port`` (optionally a bit slice of it) or to a
+    primary port / bus when ``module`` is ``None``."""
+
+    module: Optional[str]
+    port: str
+    high: Optional[int] = None
+    low: Optional[int] = None
+
+    def is_sliced(self) -> bool:
+        return self.high is not None
+
+    def __str__(self) -> str:
+        base = self.port if self.module is None else "%s.%s" % (self.module, self.port)
+        if self.is_sliced():
+            return "%s[%d:%d]" % (base, self.high, self.low)
+        return base
+
+
+@dataclass
+class ConnectDecl:
+    """A point-to-point connection ``source -> sink`` in the structure
+    section.  Multiple connections to the same sink are only legal when the
+    sink is a bus."""
+
+    source: PortRef
+    sink: PortRef
+
+
+@dataclass
+class BusDecl:
+    """A (tristate) bus with a name and width.  Buses may have several
+    drivers; contention is resolved by the drivers' execution conditions."""
+
+    name: str
+    width: int
+
+
+@dataclass
+class ProcessorModel:
+    """Root of the HDL AST: one complete processor description."""
+
+    name: str
+    modules: List[ModuleDecl] = field(default_factory=list)
+    primary_ports: List[PrimaryPortDecl] = field(default_factory=list)
+    buses: List[BusDecl] = field(default_factory=list)
+    connections: List[ConnectDecl] = field(default_factory=list)
+
+    def module(self, name: str) -> Optional[ModuleDecl]:
+        for module_decl in self.modules:
+            if module_decl.name == name:
+                return module_decl
+        return None
+
+    def primary_port(self, name: str) -> Optional[PrimaryPortDecl]:
+        for port_decl in self.primary_ports:
+            if port_decl.name == name:
+                return port_decl
+        return None
+
+    def bus(self, name: str) -> Optional[BusDecl]:
+        for bus_decl in self.buses:
+            if bus_decl.name == name:
+                return bus_decl
+        return None

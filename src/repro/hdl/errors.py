@@ -1,0 +1,27 @@
+"""Errors raised by the HDL frontend."""
+
+from __future__ import annotations
+
+
+class HdlError(Exception):
+    """Base class for all HDL frontend errors."""
+
+
+class HdlParseError(HdlError):
+    """Raised for lexical and syntactic errors.
+
+    Carries the source position so processor-model authors can locate the
+    offending construct.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = "line %d, column %d: %s" % (line, column, message)
+        super().__init__(message)
+
+
+class HdlSemanticError(HdlError):
+    """Raised when a syntactically valid model violates a semantic rule
+    (unknown ports, width mismatches, multiply driven wires, ...)."""

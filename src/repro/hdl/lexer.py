@@ -1,0 +1,158 @@
+"""Lexer for the MIMOLA-inspired HDL."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List
+
+from repro.hdl.errors import HdlParseError
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    NUMBER = "number"
+    KEYWORD = "keyword"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "processor",
+    "module",
+    "kind",
+    "in",
+    "out",
+    "behavior",
+    "end",
+    "structure",
+    "connect",
+    "bus",
+    "port",
+    "case",
+    "when",
+    "else",
+    "mem",
+    "depth",
+}
+
+# Longest operators first so that e.g. "<<" is not read as two "<".
+_OPERATORS = [
+    ":=",
+    "=>",
+    "->",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "<<",
+    ">>",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "&",
+    "|",
+    "^",
+    "~",
+    "!",
+    "<",
+    ">",
+]
+
+_PUNCT = [";", ":", ".", ",", "[", "]", "(", ")"]
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.text == word
+
+    def is_operator(self, op: str) -> bool:
+        return self.kind == TokenKind.OPERATOR and self.text == op
+
+    def is_punct(self, punct: str) -> bool:
+        return self.kind == TokenKind.PUNCT and self.text == punct
+
+
+def tokenize(source: str) -> List[Token]:
+    """Split HDL source text into tokens.
+
+    Comments start with ``--`` and run to the end of the line.  Numbers may
+    be decimal, hexadecimal (``0x..``) or binary (``0b..``).
+    """
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    index = 0
+    length = len(source)
+
+    def error(message: str) -> HdlParseError:
+        return HdlParseError(message, line, column)
+
+    while index < length:
+        char = source[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if source.startswith("--", index):
+            while index < length and source[index] != "\n":
+                index += 1
+            continue
+        if char.isalpha() or char == "_":
+            start = index
+            start_column = column
+            while index < length and (source[index].isalnum() or source[index] == "_"):
+                index += 1
+                column += 1
+            text = source[start:index]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, text, line, start_column))
+            continue
+        if char.isdigit():
+            start = index
+            start_column = column
+            while index < length and (
+                source[index].isalnum() or source[index] in "xXbB"
+            ):
+                index += 1
+                column += 1
+            text = source[start:index]
+            try:
+                int(text, 0)
+            except ValueError:
+                raise error("invalid number literal %r" % text)
+            tokens.append(Token(TokenKind.NUMBER, text, line, start_column))
+            continue
+        matched = False
+        for operator in _OPERATORS:
+            if source.startswith(operator, index):
+                tokens.append(Token(TokenKind.OPERATOR, operator, line, column))
+                index += len(operator)
+                column += len(operator)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, char, line, column))
+            index += 1
+            column += 1
+            continue
+        raise error("unexpected character %r" % char)
+
+    tokens.append(Token(TokenKind.EOF, "", line, column))
+    return tokens

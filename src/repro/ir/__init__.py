@@ -1,0 +1,29 @@
+"""Intermediate representation: expression trees over bound variables.
+
+The source-language frontend lowers basic blocks into sequences of
+statements ``destination := expression``, where expressions are unary or
+binary trees whose leaves are program variables, primary inputs or
+constants -- exactly the entities derivable from the tree grammar's start
+symbol (section 3.1 of the paper).  Program variables are bound to storage
+resources (memories, registers or ports) before code selection.
+"""
+
+from repro.ir.expr import Const, IRExpr, IRNode, Op, PortInput, VarRef, evaluate_expr, expr_variables
+from repro.ir.program import BasicBlock, Program, Statement
+from repro.ir.binding import ResourceBinding, bind_program
+
+__all__ = [
+    "BasicBlock",
+    "Const",
+    "IRExpr",
+    "IRNode",
+    "Op",
+    "PortInput",
+    "Program",
+    "ResourceBinding",
+    "Statement",
+    "VarRef",
+    "bind_program",
+    "evaluate_expr",
+    "expr_variables",
+]

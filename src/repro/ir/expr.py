@@ -1,0 +1,151 @@
+"""IR expression trees."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Set, Tuple
+
+# 16-bit fixed point machines: arithmetic wraps around modulo 2**WORD_BITS.
+WORD_BITS = 16
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+class IRNode:
+    """Base class of IR expression nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["IRNode", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Const(IRNode):
+    """An integer constant."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class VarRef(IRNode):
+    """A reference to a program variable (scalar or array element)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class PortInput(IRNode):
+    """A read of a primary processor input port."""
+
+    port: str
+
+    def __str__(self) -> str:
+        return "@%s" % self.port
+
+
+@dataclass(frozen=True)
+class Op(IRNode):
+    """An operator applied to one or two sub-expressions.
+
+    Operator names use the same canonical vocabulary as RT patterns
+    (``add``, ``sub``, ``mul``, ``shl``, ...).
+    """
+
+    op: str
+    operands: Tuple[IRNode, ...]
+
+    def children(self) -> Tuple[IRNode, ...]:
+        return self.operands
+
+    def __str__(self) -> str:
+        return "%s(%s)" % (self.op, ", ".join(str(o) for o in self.operands))
+
+
+IRExpr = IRNode
+
+
+# ---------------------------------------------------------------------------
+# Evaluation (reference semantics, used by the simulator and tests)
+# ---------------------------------------------------------------------------
+
+_BINARY_SEMANTICS: Dict[str, Callable[[int, int], int]] = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "div": lambda a, b: a // b if b else 0,
+    "mod": lambda a, b: a % b if b else 0,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 31),
+    "shr": lambda a, b: a >> (b & 31),
+    "eq": lambda a, b: int(a == b),
+    "ne": lambda a, b: int(a != b),
+    "lt": lambda a, b: int(a < b),
+    "gt": lambda a, b: int(a > b),
+    "le": lambda a, b: int(a <= b),
+    "ge": lambda a, b: int(a >= b),
+}
+
+_UNARY_SEMANTICS: Dict[str, Callable[[int], int]] = {
+    "neg": lambda a: -a,
+    "not": lambda a: ~a,
+    "lnot": lambda a: int(a == 0),
+}
+
+
+def wrap_word(value: int) -> int:
+    """Reduce a value to the machine word width (two's complement wrap)."""
+    return value & _WORD_MASK
+
+
+def apply_operator(op: str, operands: List[int]) -> int:
+    """Apply an IR/RT operator to already evaluated operand values."""
+    if op.startswith("bits_"):
+        _, high, low = op.split("_")
+        width = int(high) - int(low) + 1
+        return (operands[0] >> int(low)) & ((1 << width) - 1)
+    if len(operands) == 2:
+        semantics = _BINARY_SEMANTICS.get(op)
+        if semantics is not None:
+            return wrap_word(semantics(operands[0], operands[1]))
+    if len(operands) == 1:
+        semantics = _UNARY_SEMANTICS.get(op)
+        if semantics is not None:
+            return wrap_word(semantics(operands[0]))
+    raise ValueError("unknown operator %r with %d operands" % (op, len(operands)))
+
+
+def evaluate_expr(expr: IRNode, environment: Dict[str, int]) -> int:
+    """Evaluate an IR expression over a variable/port environment."""
+    if isinstance(expr, Const):
+        return wrap_word(expr.value)
+    if isinstance(expr, VarRef):
+        return wrap_word(environment.get(expr.name, 0))
+    if isinstance(expr, PortInput):
+        return wrap_word(environment.get("@%s" % expr.port, 0))
+    if isinstance(expr, Op):
+        operands = [evaluate_expr(child, environment) for child in expr.operands]
+        return apply_operator(expr.op, operands)
+    raise TypeError("unexpected IR node %r" % type(expr).__name__)
+
+
+def expr_variables(expr: IRNode) -> Set[str]:
+    """Names of all program variables read by an expression."""
+    if isinstance(expr, VarRef):
+        return {expr.name}
+    variables: Set[str] = set()
+    for child in expr.children():
+        variables.update(expr_variables(child))
+    return variables
+
+
+def expr_size(expr: IRNode) -> int:
+    """Number of nodes in an expression tree."""
+    return 1 + sum(expr_size(child) for child in expr.children())

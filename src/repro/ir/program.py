@@ -1,0 +1,87 @@
+"""Programs, basic blocks and statements."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.ir.expr import IRNode, evaluate_expr, expr_variables
+
+
+@dataclass
+class Statement:
+    """One assignment ``destination := expression``.
+
+    ``destination`` names a program variable (scalar or array element) or a
+    primary output port (prefixed with ``@``).
+    """
+
+    destination: str
+    expression: IRNode
+
+    def variables(self) -> Set[str]:
+        names = expr_variables(self.expression)
+        if not self.destination.startswith("@"):
+            names.add(self.destination)
+        return names
+
+    def __str__(self) -> str:
+        return "%s = %s" % (self.destination, self.expression)
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of statements."""
+
+    name: str
+    statements: List[Statement] = field(default_factory=list)
+
+    def variables(self) -> Set[str]:
+        names: Set[str] = set()
+        for statement in self.statements:
+            names.update(statement.variables())
+        return names
+
+    def execute(self, environment: Dict[str, int]) -> Dict[str, int]:
+        """Reference execution of the block: evaluate every statement in
+        order, updating and returning the environment.  Used as the golden
+        model against which generated code is checked."""
+        state = dict(environment)
+        for statement in self.statements:
+            value = evaluate_expr(statement.expression, state)
+            key = statement.destination
+            state[key] = value
+        return state
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+
+@dataclass
+class Program:
+    """A complete (straight-line) program: declarations plus basic blocks.
+
+    ``scalars`` and ``arrays`` record the declared variables; array entries
+    map the array name to its element count.
+    """
+
+    name: str
+    blocks: List[BasicBlock] = field(default_factory=list)
+    scalars: List[str] = field(default_factory=list)
+    arrays: Dict[str, int] = field(default_factory=dict)
+
+    def single_block(self) -> BasicBlock:
+        if len(self.blocks) != 1:
+            raise ValueError(
+                "program %r has %d blocks, expected exactly one" % (self.name, len(self.blocks))
+            )
+        return self.blocks[0]
+
+    def all_variables(self) -> Set[str]:
+        names: Set[str] = set()
+        for block in self.blocks:
+            names.update(block.variables())
+        return names
+
+    def statement_count(self) -> int:
+        return sum(len(block) for block in self.blocks)

@@ -1,0 +1,51 @@
+"""Instruction-set extraction (ISE).
+
+From the netlist graph model, ISE derives the complete set of valid
+register-transfer (RT) templates of the target processor (section 2 of the
+paper):
+
+* **Enumeration of data transfer routes** -- for each RT destination
+  (register, memory, primary output port) the netlist is traversed
+  backwards through combinational modules and interconnect, forking at
+  multi-input modules, until registers, memories, ports, hardwired
+  constants or instruction-word fields are reached.
+* **Analysis of control signals** -- every route is associated with an
+  execution condition over instruction-word bits and mode-register bits,
+  obtained by symbolic (BDD based) propagation of control signals through
+  decoders and random logic.  Routes with unsatisfiable conditions
+  (encoding conflicts, bus contention) are discarded.
+"""
+
+from repro.ise.templates import (
+    ConstLeaf,
+    ImmLeaf,
+    OpNode,
+    Pattern,
+    PortLeaf,
+    RegLeaf,
+    RTTemplate,
+    RTTemplateBase,
+    pattern_operators,
+    pattern_size,
+)
+from repro.ise.control import ControlAnalyzer
+from repro.ise.routes import RouteEnumerator
+from repro.ise.extractor import ExtractionResult, InstructionSetExtractor, extract_instruction_set
+
+__all__ = [
+    "ConstLeaf",
+    "ControlAnalyzer",
+    "ExtractionResult",
+    "ImmLeaf",
+    "InstructionSetExtractor",
+    "OpNode",
+    "Pattern",
+    "PortLeaf",
+    "RTTemplate",
+    "RTTemplateBase",
+    "RegLeaf",
+    "RouteEnumerator",
+    "extract_instruction_set",
+    "pattern_operators",
+    "pattern_size",
+]

@@ -1,0 +1,254 @@
+"""Construction of the netlist graph from the HDL AST, with semantic checks."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hdl.ast import (
+    BehaviorAssign,
+    CaseExpr,
+    BinaryExpr,
+    HdlExpr,
+    IdentExpr,
+    MemRefExpr,
+    ModuleKind,
+    NumberExpr,
+    PortDirection,
+    PortRef,
+    ProcessorModel,
+    SliceExpr,
+    UnaryExpr,
+)
+from repro.hdl.errors import HdlSemanticError
+from repro.netlist.module import NetModule, NetPort
+from repro.netlist.netlist import (
+    BusEndpoint,
+    Netlist,
+    PortEndpoint,
+    PrimaryEndpoint,
+)
+
+
+def build_netlist(model: ProcessorModel) -> Netlist:
+    """Build and validate the internal graph model for a processor."""
+    netlist = Netlist(name=model.name)
+    _add_modules(model, netlist)
+    _add_primary_ports(model, netlist)
+    _add_buses(model, netlist)
+    _add_connections(model, netlist)
+    _validate(netlist)
+    return netlist
+
+
+# ---------------------------------------------------------------------------
+# population
+# ---------------------------------------------------------------------------
+
+
+def _add_modules(model: ProcessorModel, netlist: Netlist) -> None:
+    for decl in model.modules:
+        if decl.name in netlist.modules:
+            raise HdlSemanticError("duplicate module name %r" % decl.name)
+        module = NetModule(name=decl.name, kind=decl.kind, depth_bits=decl.depth_bits)
+        seen = set()
+        for port_decl in decl.ports:
+            if port_decl.name in seen:
+                raise HdlSemanticError(
+                    "duplicate port %r in module %r" % (port_decl.name, decl.name)
+                )
+            seen.add(port_decl.name)
+            module.ports.append(
+                NetPort(
+                    module=decl.name,
+                    name=port_decl.name,
+                    direction=port_decl.direction,
+                    width=port_decl.width,
+                )
+            )
+        for assign in decl.behavior:
+            _check_behavior_assign(module, assign)
+            module.behavior.append(assign)
+        netlist.modules[decl.name] = module
+
+
+def _add_primary_ports(model: ProcessorModel, netlist: Netlist) -> None:
+    for port in model.primary_ports:
+        if port.name in netlist.primary_ports or port.name in netlist.modules:
+            raise HdlSemanticError("duplicate primary port name %r" % port.name)
+        netlist.primary_ports[port.name] = port
+
+
+def _add_buses(model: ProcessorModel, netlist: Netlist) -> None:
+    for bus in model.buses:
+        if (
+            bus.name in netlist.buses
+            or bus.name in netlist.modules
+            or bus.name in netlist.primary_ports
+        ):
+            raise HdlSemanticError("duplicate bus name %r" % bus.name)
+        netlist.buses[bus.name] = bus.width
+        netlist.bus_drivers[bus.name] = []
+
+
+def _add_connections(model: ProcessorModel, netlist: Netlist) -> None:
+    for connect in model.connections:
+        source = _resolve_endpoint(netlist, connect.source, expect_source=True)
+        _attach_sink(netlist, connect.sink, source)
+
+
+def _resolve_endpoint(netlist: Netlist, ref: PortRef, expect_source: bool):
+    """Resolve a parsed port reference to a netlist endpoint."""
+    if ref.module is not None:
+        module = netlist.module(ref.module)
+        port = module.port(ref.port)
+        if port is None:
+            raise HdlSemanticError(
+                "module %r has no port %r" % (ref.module, ref.port)
+            )
+        if expect_source and port.direction != PortDirection.OUT:
+            raise HdlSemanticError(
+                "connection source %s must be a module output" % ref
+            )
+        if not expect_source and port.direction != PortDirection.IN:
+            raise HdlSemanticError("connection sink %s must be a module input" % ref)
+        return PortEndpoint(module=ref.module, port=ref.port, high=ref.high, low=ref.low)
+    if ref.port in netlist.buses:
+        if ref.is_sliced():
+            raise HdlSemanticError("bus reference %s cannot be sliced" % ref)
+        return BusEndpoint(bus=ref.port)
+    if ref.port in netlist.primary_ports:
+        primary = netlist.primary_ports[ref.port]
+        if expect_source and primary.direction != PortDirection.IN:
+            raise HdlSemanticError(
+                "primary port %s used as a source must be an input pin" % ref
+            )
+        if not expect_source and primary.direction != PortDirection.OUT:
+            raise HdlSemanticError(
+                "primary port %s used as a sink must be an output pin" % ref
+            )
+        return PrimaryEndpoint(port=ref.port, high=ref.high, low=ref.low)
+    raise HdlSemanticError("unknown connection endpoint %s" % ref)
+
+
+def _attach_sink(netlist: Netlist, ref: PortRef, source) -> None:
+    if ref.module is not None:
+        module = netlist.module(ref.module)
+        port = module.port(ref.port)
+        if port is None:
+            raise HdlSemanticError(
+                "module %r has no port %r" % (ref.module, ref.port)
+            )
+        if port.direction != PortDirection.IN:
+            raise HdlSemanticError("connection sink %s must be a module input" % ref)
+        key = (ref.module, ref.port)
+        if key in netlist.input_drivers:
+            raise HdlSemanticError(
+                "input %s is driven more than once; use a bus for shared nets" % ref
+            )
+        netlist.input_drivers[key] = source
+        return
+    if ref.port in netlist.buses:
+        if isinstance(source, BusEndpoint):
+            raise HdlSemanticError("cannot connect bus %s to bus %s" % (source, ref))
+        netlist.bus_drivers[ref.port].append(source)
+        return
+    if ref.port in netlist.primary_ports:
+        primary = netlist.primary_ports[ref.port]
+        if primary.direction != PortDirection.OUT:
+            raise HdlSemanticError(
+                "primary port %s used as a sink must be an output pin" % ref
+            )
+        if ref.port in netlist.primary_output_drivers:
+            raise HdlSemanticError("primary output %s is driven more than once" % ref)
+        netlist.primary_output_drivers[ref.port] = source
+        return
+    raise HdlSemanticError("unknown connection endpoint %s" % ref)
+
+
+# ---------------------------------------------------------------------------
+# validation
+# ---------------------------------------------------------------------------
+
+
+def _check_behavior_assign(module: NetModule, assign: BehaviorAssign) -> None:
+    if assign.target_memory:
+        if module.kind != ModuleKind.MEMORY:
+            raise HdlSemanticError(
+                "module %r is not a memory but assigns mem[...]" % module.name
+            )
+        _check_expr(module, assign.target_address)
+    else:
+        port = module.port(assign.target)
+        if port is None:
+            raise HdlSemanticError(
+                "module %r assigns unknown port %r" % (module.name, assign.target)
+            )
+        if port.direction != PortDirection.OUT:
+            raise HdlSemanticError(
+                "module %r assigns input port %r" % (module.name, assign.target)
+            )
+    _check_expr(module, assign.value)
+    if assign.condition is not None:
+        _check_expr(module, assign.condition)
+
+
+def _check_expr(module: NetModule, expr: Optional[HdlExpr]) -> None:
+    if expr is None:
+        return
+    if isinstance(expr, NumberExpr):
+        return
+    if isinstance(expr, IdentExpr):
+        if module.port(expr.name) is None:
+            raise HdlSemanticError(
+                "module %r references unknown port %r" % (module.name, expr.name)
+            )
+        return
+    if isinstance(expr, MemRefExpr):
+        if module.kind != ModuleKind.MEMORY:
+            raise HdlSemanticError(
+                "module %r is not a memory but reads mem[...]" % module.name
+            )
+        _check_expr(module, expr.address)
+        return
+    if isinstance(expr, UnaryExpr):
+        _check_expr(module, expr.operand)
+        return
+    if isinstance(expr, BinaryExpr):
+        _check_expr(module, expr.left)
+        _check_expr(module, expr.right)
+        return
+    if isinstance(expr, SliceExpr):
+        _check_expr(module, expr.base)
+        return
+    if isinstance(expr, CaseExpr):
+        _check_expr(module, expr.selector)
+        for arm in expr.arms:
+            _check_expr(module, arm.value)
+        return
+    raise HdlSemanticError("unsupported expression node %r" % type(expr).__name__)
+
+
+def _validate(netlist: Netlist) -> None:
+    """Model-level consistency checks."""
+    has_instruction_memory = any(
+        m.kind == ModuleKind.INSTRUCTION_MEMORY for m in netlist.modules.values()
+    )
+    if not has_instruction_memory:
+        raise HdlSemanticError(
+            "processor %r has no instruction memory module" % netlist.name
+        )
+    for module in netlist.modules.values():
+        if module.kind == ModuleKind.CONSTANT:
+            for assign in module.behavior:
+                if not isinstance(assign.value, NumberExpr):
+                    raise HdlSemanticError(
+                        "constant module %r must assign literal values" % module.name
+                    )
+        if module.kind == ModuleKind.REGISTER and not module.output_ports():
+            raise HdlSemanticError(
+                "register module %r needs an output port" % module.name
+            )
+        if module.kind == ModuleKind.MEMORY and not module.memory_writes():
+            # A ROM is allowed, but warn-level situations are modelled as a
+            # plain read-only memory; nothing to check further.
+            pass

@@ -1,0 +1,50 @@
+"""Classification helpers over netlist modules.
+
+Instruction-set extraction distinguishes sequential modules (RT sources and
+destinations), control-signal sources (instruction memory, mode registers)
+and transparent combinational logic.  These helpers centralise that
+classification so extraction and reporting agree on it.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.hdl.ast import ModuleKind
+from repro.netlist.module import NetModule
+from repro.netlist.netlist import Netlist
+
+
+def is_sequential(module: NetModule) -> bool:
+    """Whether the module can store data across cycles (register or memory)."""
+    return module.kind in (ModuleKind.REGISTER, ModuleKind.MEMORY)
+
+
+def is_control_source(module: NetModule) -> bool:
+    """Whether the module's outputs are primary control-signal sources."""
+    return module.kind in (ModuleKind.INSTRUCTION_MEMORY, ModuleKind.MODE_REGISTER)
+
+
+def is_transparent(module: NetModule) -> bool:
+    """Whether data-route enumeration may traverse the module combinationally."""
+    return module.kind in (
+        ModuleKind.COMBINATIONAL,
+        ModuleKind.DECODER,
+        ModuleKind.CONSTANT,
+    )
+
+
+def sequential_modules(netlist: Netlist) -> List[NetModule]:
+    return [m for m in netlist.modules.values() if is_sequential(m)]
+
+
+def control_source_modules(netlist: Netlist) -> List[NetModule]:
+    return [m for m in netlist.modules.values() if is_control_source(m)]
+
+
+def storage_and_port_names(netlist: Netlist) -> List[str]:
+    """SEQ union PORTS in the paper's terminology: every name that may hold
+    an ET input or result."""
+    names = [m.name for m in sequential_modules(netlist)]
+    names.extend(netlist.primary_ports)
+    return names

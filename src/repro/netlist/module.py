@@ -1,0 +1,72 @@
+"""Module and port objects of the netlist graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.hdl.ast import BehaviorAssign, ModuleKind, PortDirection
+
+
+@dataclass(frozen=True)
+class NetPort:
+    """A port instance of a netlist module, identified by module and port
+    name."""
+
+    module: str
+    name: str
+    direction: PortDirection
+    width: int
+
+    @property
+    def key(self):
+        return (self.module, self.name)
+
+    def __str__(self) -> str:
+        return "%s.%s" % (self.module, self.name)
+
+
+@dataclass
+class NetModule:
+    """A module instance in the netlist.
+
+    ``behavior`` keeps the (validated) concurrent assignments from the HDL
+    model; extraction interprets them directly, so arbitrarily complex
+    modules -- from single gates to complete data paths -- are supported,
+    as required by the paper (section 2).
+    """
+
+    name: str
+    kind: ModuleKind
+    ports: List[NetPort] = field(default_factory=list)
+    behavior: List[BehaviorAssign] = field(default_factory=list)
+    depth_bits: Optional[int] = None
+
+    def port(self, name: str) -> Optional[NetPort]:
+        for net_port in self.ports:
+            if net_port.name == name:
+                return net_port
+        return None
+
+    def input_ports(self) -> List[NetPort]:
+        return [p for p in self.ports if p.direction == PortDirection.IN]
+
+    def output_ports(self) -> List[NetPort]:
+        return [p for p in self.ports if p.direction == PortDirection.OUT]
+
+    def assignments_to(self, port_name: str) -> List[BehaviorAssign]:
+        """All behaviour assignments whose target is ``port_name``."""
+        return [a for a in self.behavior if not a.target_memory and a.target == port_name]
+
+    def memory_writes(self) -> List[BehaviorAssign]:
+        """All assignments writing the implicit storage array (``mem[...]``)."""
+        return [a for a in self.behavior if a.target_memory]
+
+    def is_sequential(self) -> bool:
+        return self.kind in (ModuleKind.REGISTER, ModuleKind.MEMORY)
+
+    def is_control_source(self) -> bool:
+        return self.kind in (ModuleKind.INSTRUCTION_MEMORY, ModuleKind.MODE_REGISTER)
+
+    def __str__(self) -> str:
+        return "%s(%s)" % (self.name, self.kind.value)

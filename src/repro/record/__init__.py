@@ -1,0 +1,27 @@
+"""The RECORD tool flow.
+
+* :mod:`repro.record.retarget` -- the retargeting procedure of fig. 1: HDL
+  model -> netlist -> instruction-set extraction -> template expansion ->
+  tree grammar -> generated code selector, with per-phase timings (the
+  quantity reported in table 3 of the paper);
+* :mod:`repro.record.compiler` -- the retargetable compiler built on top of
+  a retargeting result: source program -> IR -> code selection ->
+  scheduling/spilling -> compaction -> machine code;
+* :mod:`repro.record.report` -- textual reports (retargeting summary,
+  processor-class feature checklist of table 1).
+"""
+
+from repro.record.retarget import PhaseTimings, RetargetResult, retarget
+from repro.record.compiler import CompiledProgram, CompilerOptions, RecordCompiler
+from repro.record.report import processor_class_report, retargeting_report
+
+__all__ = [
+    "CompiledProgram",
+    "CompilerOptions",
+    "PhaseTimings",
+    "RecordCompiler",
+    "RetargetResult",
+    "processor_class_report",
+    "retarget",
+    "retargeting_report",
+]

@@ -1,0 +1,153 @@
+"""The retargetable compiler built on a retargeting result."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.codegen.compaction import InstructionWord, code_size, compact
+from repro.codegen.emitter import format_listing
+from repro.codegen.schedule import schedule_instances
+from repro.codegen.selection import (
+    RTInstance,
+    StatementCode,
+    select_statement,
+)
+from repro.codegen.spill import count_spills, insert_spills
+from repro.frontend.lowering import lower_to_program
+from repro.grammar.construct import build_tree_grammar
+from repro.ir.binding import ResourceBinding, bind_program, default_data_memory
+from repro.ir.program import Program
+from repro.ise.templates import RTTemplateBase
+from repro.record.retarget import RetargetResult
+from repro.selector.burs import CodeSelector
+
+
+@dataclass
+class CompilerOptions:
+    """Code-generation knobs.
+
+    The defaults correspond to the full RECORD flow; the ablation benchmarks
+    and the conventional-compiler baseline switch individual features off.
+
+    * ``allow_chained`` -- keep chained-operation templates (multiply-
+      accumulate and friends) in the grammar;
+    * ``use_expanded_templates`` -- keep templates added by commutativity /
+      rewrite expansion (as opposed to only directly extracted ones);
+    * ``use_scheduling`` -- run the clobber-avoiding list scheduler;
+    * ``use_compaction`` -- pack independent RTs into one instruction word.
+    """
+
+    allow_chained: bool = True
+    use_expanded_templates: bool = True
+    use_scheduling: bool = True
+    use_compaction: bool = True
+
+
+@dataclass
+class CompiledProgram:
+    """The result of compiling one program for one target."""
+
+    program: Program
+    processor: str
+    statement_codes: List[StatementCode] = field(default_factory=list)
+    instances: List[RTInstance] = field(default_factory=list)
+    words: List[InstructionWord] = field(default_factory=list)
+    binding: Optional[ResourceBinding] = None
+
+    @property
+    def code_size(self) -> int:
+        """Number of instruction words (the metric of figure 2)."""
+        return code_size(self.words)
+
+    @property
+    def operation_count(self) -> int:
+        """Number of RT operations before compaction (incl. spill code)."""
+        return len(self.instances)
+
+    @property
+    def spill_count(self) -> int:
+        return count_spills(self.instances)
+
+    @property
+    def selection_cost(self) -> int:
+        return sum(code.cost for code in self.statement_codes)
+
+    def listing(self) -> str:
+        return format_listing(self.words, title="%s on %s" % (self.program.name, self.processor))
+
+
+class RecordCompiler:
+    """Compile source programs for a retargeted processor."""
+
+    def __init__(
+        self,
+        retarget_result: RetargetResult,
+        options: Optional[CompilerOptions] = None,
+    ):
+        self.retarget_result = retarget_result
+        self.options = options if options is not None else CompilerOptions()
+        self._selector = self._build_selector()
+
+    # -- construction ------------------------------------------------------------
+
+    def _build_selector(self) -> CodeSelector:
+        if self.options.allow_chained and self.options.use_expanded_templates:
+            return self.retarget_result.selector
+        # Rebuild the grammar from a restricted subset of the template base:
+        # dropping chained templates models conventional code generators that
+        # only know single-operation instructions, dropping expansion-derived
+        # templates disables the commutativity / rewrite-rule search space.
+        base = self.retarget_result.template_base
+        restricted = RTTemplateBase(processor=base.processor)
+        for template in base:
+            if not self.options.allow_chained and template.is_chained():
+                continue
+            if not self.options.use_expanded_templates and template.origin != "extracted":
+                continue
+            restricted.add(template)
+        grammar = build_tree_grammar(self.retarget_result.netlist, restricted)
+        return CodeSelector(grammar)
+
+    # -- compilation ----------------------------------------------------------------
+
+    def compile_program(
+        self,
+        program: Program,
+        binding_overrides: Optional[Dict[str, str]] = None,
+    ) -> CompiledProgram:
+        """Compile an IR program (a straight-line basic block per block)."""
+        netlist = self.retarget_result.netlist
+        binding = bind_program(program, netlist, overrides=binding_overrides)
+        spill_storage = default_data_memory(netlist)
+        statement_codes: List[StatementCode] = []
+        all_instances: List[RTInstance] = []
+        for block in program.blocks:
+            for statement in block.statements:
+                code = select_statement(statement, self._selector, binding)
+                instances = code.instances
+                if self.options.use_scheduling:
+                    instances = schedule_instances(instances)
+                instances = insert_spills(instances, spill_storage)
+                code.instances = instances
+                statement_codes.append(code)
+                all_instances.extend(instances)
+        words = compact(all_instances, enabled=self.options.use_compaction)
+        return CompiledProgram(
+            program=program,
+            processor=self.retarget_result.processor,
+            statement_codes=statement_codes,
+            instances=all_instances,
+            words=words,
+            binding=binding,
+        )
+
+    def compile_source(
+        self,
+        source_text: str,
+        name: str = "program",
+        binding_overrides: Optional[Dict[str, str]] = None,
+    ) -> CompiledProgram:
+        """Parse, lower and compile a source program."""
+        program = lower_to_program(source_text, name=name)
+        return self.compile_program(program, binding_overrides=binding_overrides)

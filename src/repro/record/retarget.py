@@ -1,0 +1,139 @@
+"""The retargeting procedure: from an HDL model to a code selector.
+
+This is the paper's core contribution (fig. 1).  ``retarget`` runs every
+phase -- HDL frontend, netlist construction, instruction-set extraction,
+template-base expansion, tree-grammar construction and tree-parser
+generation -- and records per-phase wall-clock times, which is exactly the
+quantity table 3 reports per target processor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.expansion.expander import ExpansionOptions, expand_template_base
+from repro.grammar.construct import build_tree_grammar
+from repro.grammar.grammar import TreeGrammar
+from repro.hdl.parser import parse_processor
+from repro.ise.extractor import ExtractionResult, extract_instruction_set
+from repro.ise.templates import RTTemplateBase
+from repro.netlist.builder import build_netlist
+from repro.netlist.netlist import Netlist
+from repro.selector.burs import CodeSelector
+from repro.selector.emit import compile_matcher_module
+
+
+@dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent in each retargeting phase."""
+
+    hdl_frontend: float = 0.0
+    netlist: float = 0.0
+    extraction: float = 0.0
+    expansion: float = 0.0
+    grammar: float = 0.0
+    parser_generation: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.hdl_frontend
+            + self.netlist
+            + self.extraction
+            + self.expansion
+            + self.grammar
+            + self.parser_generation
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hdl_frontend": self.hdl_frontend,
+            "netlist": self.netlist,
+            "extraction": self.extraction,
+            "expansion": self.expansion,
+            "grammar": self.grammar,
+            "parser_generation": self.parser_generation,
+            "total": self.total,
+        }
+
+
+@dataclass
+class RetargetResult:
+    """Everything produced by retargeting RECORD to one processor."""
+
+    processor: str
+    netlist: Netlist
+    extraction: ExtractionResult
+    raw_template_count: int
+    template_base: RTTemplateBase
+    grammar: TreeGrammar
+    selector: CodeSelector
+    timings: PhaseTimings = field(default_factory=PhaseTimings)
+    matcher_module: object = None
+
+    @property
+    def template_count(self) -> int:
+        """Number of RT templates in the extended template base (column 2 of
+        table 3)."""
+        return len(self.template_base)
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "processor": self.processor,
+            "raw_templates": self.raw_template_count,
+            "extended_templates": self.template_count,
+            "grammar_rules": len(self.grammar.rules),
+            "retargeting_time_s": self.timings.total,
+        }
+
+
+def retarget(
+    hdl_source: str,
+    expansion: Optional[ExpansionOptions] = None,
+    max_depth: int = 8,
+    max_alternatives: int = 4000,
+    generate_matcher: bool = True,
+) -> RetargetResult:
+    """Run the complete retargeting flow on one HDL processor model."""
+    timings = PhaseTimings()
+
+    start = time.perf_counter()
+    model = parse_processor(hdl_source)
+    timings.hdl_frontend = time.perf_counter() - start
+
+    start = time.perf_counter()
+    netlist = build_netlist(model)
+    timings.netlist = time.perf_counter() - start
+
+    start = time.perf_counter()
+    extraction = extract_instruction_set(
+        netlist, max_depth=max_depth, max_alternatives=max_alternatives
+    )
+    timings.extraction = time.perf_counter() - start
+
+    start = time.perf_counter()
+    extended = expand_template_base(extraction.template_base, expansion)
+    timings.expansion = time.perf_counter() - start
+
+    start = time.perf_counter()
+    grammar = build_tree_grammar(netlist, extended)
+    timings.grammar = time.perf_counter() - start
+
+    start = time.perf_counter()
+    selector = CodeSelector(grammar)
+    matcher_module = compile_matcher_module(grammar) if generate_matcher else None
+    timings.parser_generation = time.perf_counter() - start
+
+    return RetargetResult(
+        processor=netlist.name,
+        netlist=netlist,
+        extraction=extraction,
+        raw_template_count=len(extraction.template_base),
+        template_base=extended,
+        grammar=grammar,
+        selector=selector,
+        timings=timings,
+        matcher_module=matcher_module,
+    )

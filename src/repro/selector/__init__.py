@@ -1,0 +1,38 @@
+"""Processor-specific code selectors (tree parsers).
+
+Optimal code selection for an expression tree is a minimum-cost derivation
+of the tree in the processor's tree grammar.  The paper generates a tree
+parser with iburg; this package provides the equivalent machinery in
+Python:
+
+* :mod:`repro.selector.burs` -- a BURS-style dynamic-programming labeller
+  and reducer working directly on a tree grammar (label pass computes, for
+  every node and non-terminal, the cheapest rule with chain-rule closure;
+  the reduce pass walks the optimal derivation top-down);
+* :mod:`repro.selector.emit` -- generation of a stand-alone, grammar-specific
+  matcher module, mirroring iburg's generated C parser;
+* :mod:`repro.selector.tables` -- the precomputed rule tables shared by both.
+"""
+
+from repro.selector.subject import SubjectNode
+from repro.selector.burs import (
+    CodeSelector,
+    Match,
+    Reduction,
+    SelectionError,
+    SelectionResult,
+)
+from repro.selector.tables import GrammarTables
+from repro.selector.emit import compile_matcher_module, emit_matcher_source
+
+__all__ = [
+    "CodeSelector",
+    "GrammarTables",
+    "Match",
+    "Reduction",
+    "SelectionError",
+    "SelectionResult",
+    "SubjectNode",
+    "compile_matcher_module",
+    "emit_matcher_source",
+]

@@ -1,0 +1,158 @@
+"""Generation of a stand-alone, grammar-specific matcher module.
+
+The paper obtains its code selector from iburg, which reads the BNF tree
+grammar and *emits C code* that is then compiled.  We mirror that step:
+:func:`emit_matcher_source` renders a self-contained Python module embedding
+the rule tables of one grammar, and :func:`compile_matcher_module` compiles
+and executes it, returning the module namespace.  The retargeting benchmark
+times both steps, which corresponds to the "parser generation + parser
+compilation" share of table 3.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Dict, List
+
+from repro.grammar.grammar import PatNonterm, PatTerm, PatternNode, TreeGrammar
+
+_MODULE_TEMPLATE = '''"""Generated code selector for processor {processor}.
+
+This module was emitted by repro.selector.emit; do not edit by hand.
+Rules are encoded as nested tuples:
+    ("T", label, value_or_None, (child, ...))   -- terminal pattern node
+    ("N", nonterminal)                          -- non-terminal pattern leaf
+"""
+
+PROCESSOR = {processor!r}
+START = {start!r}
+
+RULES = {rules!r}
+
+TERMINALS = {terminals!r}
+NONTERMINALS = {nonterminals!r}
+
+
+def _match(pattern, node, states):
+    kind = pattern[0]
+    if kind == "N":
+        entry = states[id(node)].get(pattern[1])
+        if entry is None:
+            return None
+        return entry[0], [(node, pattern[1])]
+    _, label, value, children = pattern
+    if node.label != label:
+        return None
+    if value is not None and node.const_value != value:
+        return None
+    if len(node.children) != len(children):
+        return None
+    total, leaves = 0, []
+    for child_pattern, child_node in zip(children, node.children):
+        result = _match(child_pattern, child_node, states)
+        if result is None:
+            return None
+        total += result[0]
+        leaves.extend(result[1])
+    return total, leaves
+
+
+def label(root):
+    """Dynamic-programming labelling pass over a subject tree."""
+    states = {{}}
+    order = []
+    stack = [(root, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            order.append(node)
+            continue
+        stack.append((node, True))
+        for child in reversed(node.children):
+            stack.append((child, False))
+    for node in order:
+        state = {{}}
+        for index, (lhs, pattern, cost) in enumerate(RULES):
+            if pattern[0] == "N":
+                continue
+            result = _match(pattern, node, states)
+            if result is None:
+                continue
+            total = cost + result[0]
+            if lhs not in state or total < state[lhs][0]:
+                state[lhs] = (total, index, result[1])
+        changed = True
+        while changed:
+            changed = False
+            for index, (lhs, pattern, cost) in enumerate(RULES):
+                if pattern[0] != "N":
+                    continue
+                source = state.get(pattern[1])
+                if source is None:
+                    continue
+                total = cost + source[0]
+                if lhs not in state or total < state[lhs][0]:
+                    state[lhs] = (total, index, [(node, pattern[1])])
+                    changed = True
+        states[id(node)] = state
+    return states
+
+
+def cover_cost(root, goal=START):
+    """Cost of the optimal cover, or None when the tree is not derivable."""
+    entry = label(root)[id(root)].get(goal)
+    return entry[0] if entry is not None else None
+
+
+def reduce(root, goal=START):
+    """Rule indices of the optimal cover, children before parents."""
+    states = label(root)
+    if goal not in states[id(root)]:
+        raise ValueError("tree not derivable from %s" % goal)
+    output = []
+
+    def walk(node, nonterminal):
+        cost, index, leaves = states[id(node)][nonterminal]
+        for leaf_node, leaf_nonterminal in leaves:
+            walk(leaf_node, leaf_nonterminal)
+        output.append(index)
+
+    walk(root, goal)
+    return output
+'''
+
+
+def _encode_pattern(pattern: PatternNode):
+    if isinstance(pattern, PatNonterm):
+        return ("N", pattern.name)
+    if isinstance(pattern, PatTerm):
+        return (
+            "T",
+            pattern.name,
+            pattern.value,
+            tuple(_encode_pattern(child) for child in pattern.operands),
+        )
+    raise TypeError("unexpected pattern node %r" % pattern)
+
+
+def emit_matcher_source(grammar: TreeGrammar) -> str:
+    """Python source of a stand-alone matcher for ``grammar``."""
+    rules = tuple(
+        (rule.lhs, _encode_pattern(rule.pattern), rule.cost) for rule in grammar.rules
+    )
+    return _MODULE_TEMPLATE.format(
+        processor=grammar.processor,
+        start=grammar.start,
+        rules=rules,
+        terminals=tuple(sorted(grammar.terminals)),
+        nonterminals=tuple(sorted(grammar.nonterminals)),
+    )
+
+
+def compile_matcher_module(grammar: TreeGrammar) -> types.ModuleType:
+    """Emit, compile and execute the matcher module for ``grammar``."""
+    source = emit_matcher_source(grammar)
+    module = types.ModuleType("generated_selector_%s" % grammar.processor)
+    code = compile(source, "<generated selector %s>" % grammar.processor, "exec")
+    exec(code, module.__dict__)
+    return module

@@ -1,0 +1,56 @@
+"""Subject trees: the input of the tree parser.
+
+The code generator lowers IR expression trees into subject trees whose node
+labels use exactly the terminal vocabulary of the processor's tree grammar
+(``ASSIGN``, storage names, port names, operator names, ``Const``).  Keeping
+this a small dedicated type decouples the selector from the IR.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class SubjectNode:
+    """One node of a subject (expression) tree."""
+
+    __slots__ = ("label", "children", "const_value", "payload")
+
+    def __init__(
+        self,
+        label: str,
+        children: Optional[List["SubjectNode"]] = None,
+        const_value: Optional[int] = None,
+        payload: object = None,
+    ):
+        self.label = label
+        self.children = children if children is not None else []
+        self.const_value = const_value
+        self.payload = payload
+
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def size(self) -> int:
+        return 1 + sum(child.size() for child in self.children)
+
+    def post_order(self) -> List["SubjectNode"]:
+        """All nodes, children before parents."""
+        nodes: List[SubjectNode] = []
+        stack: List[tuple] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                nodes.append(node)
+                continue
+            stack.append((node, True))
+            for child in reversed(node.children):
+                stack.append((child, False))
+        return nodes
+
+    def __repr__(self) -> str:
+        if self.const_value is not None and self.is_leaf():
+            return "%s(%d)" % (self.label, self.const_value)
+        if self.is_leaf():
+            return self.label
+        return "%s(%s)" % (self.label, ", ".join(repr(c) for c in self.children))

@@ -1,0 +1,50 @@
+"""Precomputed rule tables for the tree parser.
+
+iburg compiles a grammar into static tables consulted by the generated
+parser; this module plays the same role for our Python matcher: rules are
+indexed by the terminal label at their pattern root and chain rules by
+their source non-terminal, so that the labeller only examines plausible
+candidates at every subject node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.grammar.grammar import PatNonterm, PatTerm, Rule, TreeGrammar
+
+
+@dataclass
+class GrammarTables:
+    """Rule index tables derived from one tree grammar."""
+
+    grammar: TreeGrammar
+    rules_by_root: Dict[str, List[Rule]] = field(default_factory=dict)
+    chain_rules_by_source: Dict[str, List[Rule]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, grammar: TreeGrammar) -> "GrammarTables":
+        tables = cls(grammar=grammar)
+        for rule in grammar.rules:
+            if isinstance(rule.pattern, PatNonterm):
+                tables.chain_rules_by_source.setdefault(rule.pattern.name, []).append(rule)
+            elif isinstance(rule.pattern, PatTerm):
+                tables.rules_by_root.setdefault(rule.pattern.name, []).append(rule)
+        return tables
+
+    def candidate_rules(self, label: str) -> List[Rule]:
+        """Non-chain rules whose pattern root carries the given terminal."""
+        return self.rules_by_root.get(label, [])
+
+    def chain_candidates(self, nonterminal: str) -> List[Rule]:
+        """Chain rules that can fire once ``nonterminal`` has been derived."""
+        return self.chain_rules_by_source.get(nonterminal, [])
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "root_labels": len(self.rules_by_root),
+            "indexed_rules": sum(len(r) for r in self.rules_by_root.values()),
+            "chain_sources": len(self.chain_rules_by_source),
+            "chain_rules": sum(len(r) for r in self.chain_rules_by_source.values()),
+        }

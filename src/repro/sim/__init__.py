@@ -1,0 +1,11 @@
+"""RT-level simulation of generated code.
+
+The simulator executes the RT instances produced by code selection over a
+variable environment and is used by the test suite to check that generated
+code computes exactly the same values as the reference execution of the IR
+basic block -- the key end-to-end correctness invariant of the compiler.
+"""
+
+from repro.sim.rtsim import RTSimulator, SimulationError, simulate_statement_code
+
+__all__ = ["RTSimulator", "SimulationError", "simulate_statement_code"]

@@ -1,0 +1,123 @@
+"""Value-level simulation of selected RT sequences.
+
+Each RT instance covers a region of the statement's subject tree: the
+region's frontier is given by the instance's operand nodes (intermediate
+results produced by earlier RTs) and its interior leaves are program
+variables, constants or ports.  The simulator evaluates exactly that region
+using the current value table, which validates both the data flow of the
+cover (operands come from the right producers) and the operator semantics
+of chained templates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.codegen.selection import RTInstance, StatementCode
+from repro.ir.expr import apply_operator, wrap_word
+from repro.ir.program import BasicBlock
+from repro.selector.subject import SubjectNode
+
+
+class SimulationError(Exception):
+    """Raised when an RT sequence references an undefined value."""
+
+
+class RTSimulator:
+    """Executes RT instances over a program-variable environment."""
+
+    def __init__(self, environment: Optional[Dict[str, int]] = None):
+        self.environment: Dict[str, int] = dict(environment or {})
+        self._values: Dict[str, int] = {}
+
+    # -- execution -------------------------------------------------------------
+
+    def run_statement(self, code: StatementCode) -> None:
+        """Execute the RT instances of one statement, updating the
+        environment with the statement's destination value."""
+        self._values = {}
+        executed_any = False
+        for instance in code.instances:
+            self._execute_instance(instance)
+            executed_any = instance.kind == "rt" or executed_any
+        if not executed_any:
+            # Zero-cost cover (source and destination share storage): the
+            # statement is a plain variable copy.
+            self._execute_copy(code)
+
+    def run_block_code(self, codes: List[StatementCode]) -> Dict[str, int]:
+        """Execute the code of a whole basic block and return the resulting
+        environment."""
+        for code in codes:
+            self.run_statement(code)
+        return dict(self.environment)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _execute_instance(self, instance: RTInstance) -> None:
+        if instance.kind != "rt":
+            # Spill stores/reloads move values between storages; at value
+            # level they are the identity.
+            return
+        if instance.node is None:
+            raise SimulationError("RT instance without a subject node")
+        frontier = {id(node): value_id for node, (value_id, _s) in zip(
+            instance.operand_nodes, instance.operands
+        )}
+        value = self._evaluate_region(instance.node, frontier, top=True)
+        self._values[instance.result_id] = value
+        if instance.defines_variable is not None:
+            self.environment[instance.defines_variable] = value
+
+    def _evaluate_region(
+        self, node: SubjectNode, frontier: Dict[int, str], top: bool = False
+    ) -> int:
+        if not top and id(node) in frontier:
+            return self._lookup_value(frontier[id(node)])
+        payload = node.payload
+        if isinstance(payload, tuple):
+            tag = payload[0]
+            if tag == "var":
+                return wrap_word(self.environment.get(payload[1], 0))
+            if tag == "const":
+                return wrap_word(payload[1])
+            if tag == "port":
+                return wrap_word(self.environment.get("@%s" % payload[1], 0))
+        if not node.children:
+            # A chain-rule instance whose node is also its operand node.
+            if id(node) in frontier:
+                return self._lookup_value(frontier[id(node)])
+            raise SimulationError("leaf node %r has no value" % node)
+        operands = [self._evaluate_region(child, frontier) for child in node.children]
+        return apply_operator(node.label, operands)
+
+    def _lookup_value(self, value_id: str) -> int:
+        if value_id.startswith("var:"):
+            return wrap_word(self.environment.get(value_id[4:], 0))
+        if value_id.startswith("const:"):
+            return wrap_word(int(value_id[6:]))
+        if value_id.startswith("port:"):
+            return wrap_word(self.environment.get("@%s" % value_id[5:], 0))
+        if value_id in self._values:
+            return self._values[value_id]
+        raise SimulationError("value %r used before being defined" % value_id)
+
+    def _execute_copy(self, code: StatementCode) -> None:
+        statement = code.statement
+        from repro.ir.expr import evaluate_expr  # local import avoids a cycle
+
+        value = evaluate_expr(statement.expression, self.environment)
+        self.environment[statement.destination] = value
+
+
+def simulate_statement_code(
+    codes: List[StatementCode], environment: Dict[str, int]
+) -> Dict[str, int]:
+    """Execute the code of a block and return the final environment."""
+    simulator = RTSimulator(environment)
+    return simulator.run_block_code(codes)
+
+
+def reference_execution(block: BasicBlock, environment: Dict[str, int]) -> Dict[str, int]:
+    """Reference (IR-level) execution of a block; the golden model."""
+    return block.execute(environment)

@@ -1,0 +1,101 @@
+"""Registry of the built-in target processors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.hdl.parser import parse_processor
+from repro.netlist.builder import build_netlist
+from repro.netlist.netlist import Netlist
+from repro.targets.models import bass_boost, demo, manocpu, ref, tanenbaum, tms320c25
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """Metadata of one built-in target processor."""
+
+    name: str
+    hdl_source: str
+    description: str
+    category: str
+    # The storage resource in which program variables live by default.
+    default_variable_storage: Optional[str] = "DMEM"
+    # Variables that should live in registers/ports instead of memory may be
+    # listed here per experiment; empty by default.
+    binding_overrides: Dict[str, str] = field(default_factory=dict)
+
+
+_TARGETS: Dict[str, TargetSpec] = {
+    "demo": TargetSpec(
+        name="demo",
+        hdl_source=demo.HDL_SOURCE,
+        description="Small single-accumulator example machine with ALU and multiplier",
+        category="simple example",
+    ),
+    "ref": TargetSpec(
+        name="ref",
+        hdl_source=ref.HDL_SOURCE,
+        description="Reference machine: 4 registers, MAC unit, horizontal instruction word",
+        category="simple example",
+    ),
+    "manocpu": TargetSpec(
+        name="manocpu",
+        hdl_source=manocpu.HDL_SOURCE,
+        description="Mano's basic computer (educational accumulator machine)",
+        category="educational",
+    ),
+    "tanenbaum": TargetSpec(
+        name="tanenbaum",
+        hdl_source=tanenbaum.HDL_SOURCE,
+        description="Tanenbaum's Mac-1 (educational accumulator/stack machine)",
+        category="educational",
+    ),
+    "bass_boost": TargetSpec(
+        name="bass_boost",
+        hdl_source=bass_boost.HDL_SOURCE,
+        description="Industrial-style audio filter ASIP with a single MAC path",
+        category="industrial ASIP",
+    ),
+    "tms320c25": TargetSpec(
+        name="tms320c25",
+        hdl_source=tms320c25.HDL_SOURCE,
+        description="TMS320C25-style fixed-point DSP (heterogeneous registers, MAC)",
+        category="standard DSP",
+    ),
+}
+
+# The order used by table 3 of the paper.
+TABLE3_ORDER: List[str] = [
+    "demo",
+    "ref",
+    "manocpu",
+    "tanenbaum",
+    "bass_boost",
+    "tms320c25",
+]
+
+
+def all_target_names() -> List[str]:
+    """Names of all built-in targets, in the paper's table 3 order."""
+    return list(TABLE3_ORDER)
+
+
+def get_target(name: str) -> TargetSpec:
+    """The :class:`TargetSpec` of a built-in target."""
+    try:
+        return _TARGETS[name]
+    except KeyError:
+        raise KeyError(
+            "unknown target %r; available targets: %s" % (name, ", ".join(TABLE3_ORDER))
+        )
+
+
+def target_hdl_source(name: str) -> str:
+    """The HDL source text of a built-in target."""
+    return get_target(name).hdl_source
+
+
+def load_target_netlist(name: str) -> Netlist:
+    """Parse and build the netlist of a built-in target."""
+    return build_netlist(parse_processor(target_hdl_source(name)))

@@ -1,0 +1,1 @@
+"""HDL source texts of the built-in processor models."""

@@ -1,0 +1,142 @@
+"""The ``bass_boost`` processor: a small industrial-style audio ASIP.
+
+Modelled after the in-house filter cores the paper cites (Strik et al.): a
+single multiply-accumulate path between a sample register, a coefficient
+ROM and an accumulator, plus the few data moves needed to stream samples in
+and out.  It has by far the fewest RT templates of the built-in targets,
+mirroring the ``bass boost`` row of table 3.
+"""
+
+HDL_SOURCE = """
+processor bass_boost;
+
+port SAMPLE_IN  : in 16;
+port SAMPLE_OUT : out 16;
+
+module IM kind instruction_memory
+  out word : 12;
+end module;
+
+-- Coefficient ROM: read-only memory addressed by an instruction field.
+module CROM kind memory
+  in  addr : 4;
+  out dout : 16;
+behavior
+  dout := mem[addr];
+end module;
+
+-- Sample delay line.
+module DMEM kind memory
+  in  addr : 4;
+  in  din  : 16;
+  in  wr   : 1;
+  out dout : 16;
+behavior
+  dout := mem[addr];
+  mem[addr] := din when wr == 1;
+end module;
+
+module XREG kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module ACC kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+-- Multiply-accumulate datapath: acc + x * coefficient in one cycle.
+module MACU kind combinational
+  in  x : 16;
+  in  c : 16;
+  in  a : 16;
+  in  f : 2;
+  out y : 16;
+behavior
+  y := case f
+         when 0 => a + x * c;
+         when 1 => a - x * c;
+         when 2 => x * c;
+         when 3 => a;
+       end;
+end module;
+
+module MUXX kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  s : 1;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+       end;
+end module;
+
+module DEC kind decoder
+  in  opc : 3;
+  out mac_f  : 2;
+  out acc_ld : 1;
+  out x_ld   : 1;
+  out mem_wr : 1;
+  out sx     : 1;
+behavior
+  mac_f := case opc
+             when 0 => 0;
+             when 1 => 1;
+             when 2 => 2;
+             when 3 => 3;
+             else => 3;
+           end;
+  acc_ld := case opc
+              when 0 => 1;
+              when 1 => 1;
+              when 2 => 1;
+              else => 0;
+            end;
+  x_ld := case opc
+            when 4 => 1;
+            when 5 => 1;
+            else => 0;
+          end;
+  mem_wr := case opc
+              when 6 => 1;
+              else => 0;
+            end;
+  sx := case opc
+          when 5 => 1;
+          else => 0;
+        end;
+end module;
+
+structure
+  connect IM.word[11:9] -> DEC.opc;
+  connect IM.word[7:4]  -> CROM.addr;
+  connect IM.word[3:0]  -> DMEM.addr;
+
+  connect DEC.mac_f  -> MACU.f;
+  connect DEC.acc_ld -> ACC.ld;
+  connect DEC.x_ld   -> XREG.ld;
+  connect DEC.mem_wr -> DMEM.wr;
+  connect DEC.sx     -> MUXX.s;
+
+  connect DMEM.dout  -> MUXX.a;
+  connect SAMPLE_IN  -> MUXX.b;
+  connect MUXX.y     -> XREG.d;
+
+  connect XREG.q -> MACU.x;
+  connect CROM.dout -> MACU.c;
+  connect ACC.q -> MACU.a;
+  connect MACU.y -> ACC.d;
+
+  connect ACC.q -> DMEM.din;
+  connect ACC.q -> SAMPLE_OUT;
+end structure;
+"""

@@ -1,0 +1,215 @@
+"""The ``demo`` processor: a small single-accumulator machine.
+
+The data path has an accumulator ``ACC``, a secondary register ``BREG``, a
+data memory ``DMEM`` with direct (instruction-field) addressing, a seven-
+function ALU, a single-cycle multiplier and three operand/result
+multiplexers.  Control signals are decoded from a 4-bit opcode field of the
+16-bit instruction word; the low byte doubles as immediate operand and
+memory address, exactly the kind of encoded instruction format whose
+conflicts the BDD-based execution-condition analysis must detect.
+"""
+
+HDL_SOURCE = """
+processor demo;
+
+port PIN  : in 16;
+port POUT : out 16;
+
+module IM kind instruction_memory
+  out word : 16;
+end module;
+
+module DMEM kind memory
+  in  addr : 8;
+  in  din  : 16;
+  in  wr   : 1;
+  out dout : 16;
+behavior
+  dout := mem[addr];
+  mem[addr] := din when wr == 1;
+end module;
+
+module ACC kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module BREG kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module ALU kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  f : 3;
+  out y : 16;
+behavior
+  y := case f
+         when 0 => a + b;
+         when 1 => a - b;
+         when 2 => a & b;
+         when 3 => a | b;
+         when 4 => a ^ b;
+         when 5 => a;
+         when 6 => b;
+       end;
+end module;
+
+module MUL kind combinational
+  in  a : 16;
+  in  b : 16;
+  out y : 16;
+behavior
+  y := a * b;
+end module;
+
+-- Operand selection: ALU input a from ACC, DMEM or BREG.
+module MUXA kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  c : 16;
+  in  s : 2;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+         when 2 => c;
+       end;
+end module;
+
+-- ALU input b from DMEM, immediate field, BREG or the input pin.
+module MUXB kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  c : 16;
+  in  d : 16;
+  in  s : 2;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+         when 2 => c;
+         when 3 => d;
+       end;
+end module;
+
+-- Result selection: ALU or multiplier.
+module MUXR kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  s : 1;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+       end;
+end module;
+
+module DEC kind decoder
+  in  opc : 4;
+  out alu_f   : 3;
+  out acc_ld  : 1;
+  out breg_ld : 1;
+  out mem_wr  : 1;
+  out sa      : 2;
+  out sb      : 2;
+  out sr      : 1;
+behavior
+  alu_f := case opc
+             when 0 => 0;
+             when 1 => 1;
+             when 2 => 2;
+             when 3 => 3;
+             when 4 => 4;
+             when 5 => 5;
+             when 6 => 6;
+             when 7 => 0;
+             when 8 => 1;
+             when 11 => 6;
+             else => 5;
+           end;
+  acc_ld := case opc
+              when 0 => 1;
+              when 1 => 1;
+              when 2 => 1;
+              when 3 => 1;
+              when 4 => 1;
+              when 5 => 1;
+              when 6 => 1;
+              when 7 => 1;
+              when 8 => 1;
+              when 9 => 1;
+              when 11 => 1;
+              else => 0;
+            end;
+  breg_ld := case opc
+               when 10 => 1;
+               else => 0;
+             end;
+  mem_wr := case opc
+              when 12 => 1;
+              else => 0;
+            end;
+  sa := case opc
+          when 6 => 1;
+          when 8 => 2;
+          else => 0;
+        end;
+  sb := case opc
+          when 5 => 0;
+          when 7 => 1;
+          when 2 => 2;
+          when 11 => 3;
+          else => 0;
+        end;
+  sr := case opc
+          when 9 => 1;
+          else => 0;
+        end;
+end module;
+
+structure
+  connect IM.word[15:12] -> DEC.opc;
+  connect IM.word[7:0]   -> DMEM.addr;
+
+  connect DEC.alu_f   -> ALU.f;
+  connect DEC.acc_ld  -> ACC.ld;
+  connect DEC.breg_ld -> BREG.ld;
+  connect DEC.mem_wr  -> DMEM.wr;
+  connect DEC.sa      -> MUXA.s;
+  connect DEC.sb      -> MUXB.s;
+  connect DEC.sr      -> MUXR.s;
+
+  connect ACC.q       -> MUXA.a;
+  connect DMEM.dout   -> MUXA.b;
+  connect BREG.q      -> MUXA.c;
+  connect MUXA.y      -> ALU.a;
+
+  connect DMEM.dout   -> MUXB.a;
+  connect IM.word[7:0] -> MUXB.b;
+  connect BREG.q      -> MUXB.c;
+  connect PIN         -> MUXB.d;
+  connect MUXB.y      -> ALU.b;
+
+  connect ACC.q       -> MUL.a;
+  connect DMEM.dout   -> MUL.b;
+
+  connect ALU.y       -> MUXR.a;
+  connect MUL.y       -> MUXR.b;
+  connect MUXR.y      -> ACC.d;
+
+  connect DMEM.dout   -> BREG.d;
+  connect ACC.q       -> DMEM.din;
+  connect ACC.q       -> POUT;
+end structure;
+"""

@@ -1,0 +1,152 @@
+"""The ``manocpu`` processor after M. M. Mano's basic computer.
+
+A classic single-accumulator, memory-register machine: the accumulator
+``AC`` is combined with a direct-addressed memory operand by an ALU that
+implements Mano's micro-operations (AND, ADD, load, complement, increment,
+clear), and can be stored back to memory.  The 16-bit instruction word
+holds a 4-bit opcode and a 12-bit address.
+"""
+
+HDL_SOURCE = """
+processor manocpu;
+
+port INR : in 16;
+port OUTR : out 16;
+
+module IM kind instruction_memory
+  out word : 16;
+end module;
+
+module DMEM kind memory
+  in  addr : 12;
+  in  din  : 16;
+  in  wr   : 1;
+  out dout : 16;
+behavior
+  dout := mem[addr];
+  mem[addr] := din when wr == 1;
+end module;
+
+module AC kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module DR kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module ALU kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  f : 3;
+  out y : 16;
+behavior
+  y := case f
+         when 0 => a & b;
+         when 1 => a + b;
+         when 2 => b;
+         when 3 => a;
+         when 4 => ~a;
+         when 5 => a + 1;
+         when 6 => 0;
+         when 7 => b + 1;
+       end;
+end module;
+
+-- Operand b comes either from memory or from the data register DR.
+module MUXB kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  c : 16;
+  in  s : 2;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+         when 2 => c;
+       end;
+end module;
+
+module DEC kind decoder
+  in  opc : 4;
+  out alu_f  : 3;
+  out ac_ld  : 1;
+  out dr_ld  : 1;
+  out mem_wr : 1;
+  out sb     : 2;
+behavior
+  alu_f := case opc
+             when 0 => 0;
+             when 1 => 1;
+             when 2 => 2;
+             when 3 => 3;
+             when 4 => 4;
+             when 5 => 5;
+             when 6 => 6;
+             when 7 => 1;
+             when 8 => 0;
+             when 9 => 2;
+             when 12 => 7;
+             else => 3;
+           end;
+  ac_ld := case opc
+             when 0 => 1;
+             when 1 => 1;
+             when 2 => 1;
+             when 4 => 1;
+             when 5 => 1;
+             when 6 => 1;
+             when 7 => 1;
+             when 8 => 1;
+             when 9 => 1;
+             else => 0;
+           end;
+  dr_ld := case opc
+             when 10 => 1;
+             when 12 => 1;
+             else => 0;
+           end;
+  mem_wr := case opc
+              when 11 => 1;
+              else => 0;
+            end;
+  sb := case opc
+          when 7 => 1;
+          when 8 => 1;
+          when 9 => 2;
+          when 12 => 0;
+          else => 0;
+        end;
+end module;
+
+structure
+  connect IM.word[15:12] -> DEC.opc;
+  connect IM.word[11:0]  -> DMEM.addr;
+
+  connect DEC.alu_f  -> ALU.f;
+  connect DEC.ac_ld  -> AC.ld;
+  connect DEC.dr_ld  -> DR.ld;
+  connect DEC.mem_wr -> DMEM.wr;
+  connect DEC.sb     -> MUXB.s;
+
+  connect AC.q      -> ALU.a;
+  connect DMEM.dout -> MUXB.a;
+  connect DR.q      -> MUXB.b;
+  connect INR       -> MUXB.c;
+  connect MUXB.y    -> ALU.b;
+
+  connect ALU.y -> AC.d;
+  connect ALU.y -> DR.d;
+  connect AC.q  -> DMEM.din;
+  connect AC.q  -> OUTR;
+end structure;
+"""

@@ -1,0 +1,315 @@
+"""The ``ref`` processor: a richer reference machine with a horizontal
+instruction format.
+
+Four general-purpose registers, an address register, a data memory with
+direct and register-indirect addressing, an eight-function ALU and a
+single-cycle multiply-accumulate unit are controlled by a mostly horizontal
+24-bit instruction word (operand/function selects are taken directly from
+instruction fields).  Because nearly every field combination is encodable,
+instruction-set extraction enumerates a large RT template base for this
+machine -- it plays the role of the paper's biggest template base (the
+``ref`` row of table 3).
+"""
+
+HDL_SOURCE = """
+processor ref;
+
+port PIN  : in 16;
+port POUT : out 16;
+
+module IM kind instruction_memory
+  out word : 24;
+end module;
+
+module DMEM kind memory
+  in  addr : 8;
+  in  din  : 16;
+  in  wr   : 1;
+  out dout : 16;
+behavior
+  dout := mem[addr];
+  mem[addr] := din when wr == 1;
+end module;
+
+module R0 kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module R1 kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module R2 kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module R3 kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module AR kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module ALU kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  f : 3;
+  out y : 16;
+behavior
+  y := case f
+         when 0 => a + b;
+         when 1 => a - b;
+         when 2 => a & b;
+         when 3 => a | b;
+         when 4 => a ^ b;
+         when 5 => a;
+         when 6 => b;
+         when 7 => a * b;
+       end;
+end module;
+
+module MAC kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  c : 16;
+  out y : 16;
+behavior
+  y := a * b + c;
+end module;
+
+module MUXA kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  c : 16;
+  in  d : 16;
+  in  s : 2;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+         when 2 => c;
+         when 3 => d;
+       end;
+end module;
+
+module MUXB kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  c : 16;
+  in  d : 16;
+  in  e : 16;
+  in  g : 16;
+  in  s : 3;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+         when 2 => c;
+         when 3 => d;
+         when 4 => e;
+         when 5 => g;
+       end;
+end module;
+
+module MUXMA kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  s : 1;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+       end;
+end module;
+
+module MUXMB kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  c : 16;
+  in  d : 16;
+  in  s : 2;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+         when 2 => c;
+         when 3 => d;
+       end;
+end module;
+
+module MUXMC kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  c : 16;
+  in  d : 16;
+  in  s : 2;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+         when 2 => c;
+         when 3 => d;
+       end;
+end module;
+
+module MUXRES kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  s : 1;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+       end;
+end module;
+
+module MUXDIN kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  c : 16;
+  in  d : 16;
+  in  s : 2;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+         when 2 => c;
+         when 3 => d;
+       end;
+end module;
+
+module MUXADDR kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  s : 1;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+       end;
+end module;
+
+-- Destination decoder: which storage receives the result this cycle.
+module DECD kind decoder
+  in  dsel : 3;
+  out r0_ld : 1;
+  out r1_ld : 1;
+  out r2_ld : 1;
+  out r3_ld : 1;
+  out ar_ld : 1;
+  out mem_wr : 1;
+behavior
+  r0_ld := case dsel when 0 => 1; else => 0; end;
+  r1_ld := case dsel when 1 => 1; else => 0; end;
+  r2_ld := case dsel when 2 => 1; else => 0; end;
+  r3_ld := case dsel when 3 => 1; else => 0; end;
+  ar_ld := case dsel when 5 => 1; else => 0; end;
+  mem_wr := case dsel when 4 => 1; else => 0; end;
+end module;
+
+structure
+  -- horizontal instruction fields
+  connect IM.word[23:21] -> DECD.dsel;
+  connect IM.word[20:18] -> ALU.f;
+  connect IM.word[17:16] -> MUXA.s;
+  connect IM.word[15:13] -> MUXB.s;
+  connect IM.word[12:12] -> MUXRES.s;
+  connect IM.word[11:11] -> MUXADDR.s;
+  connect IM.word[10:9]  -> MUXMB.s;
+  connect IM.word[8:8]   -> MUXMA.s;
+  connect IM.word[17:16] -> MUXMC.s;
+  connect IM.word[17:16] -> MUXDIN.s;
+
+  -- destination load enables
+  connect DECD.r0_ld  -> R0.ld;
+  connect DECD.r1_ld  -> R1.ld;
+  connect DECD.r2_ld  -> R2.ld;
+  connect DECD.r3_ld  -> R3.ld;
+  connect DECD.ar_ld  -> AR.ld;
+  connect DECD.mem_wr -> DMEM.wr;
+
+  -- ALU operand a
+  connect R0.q -> MUXA.a;
+  connect R1.q -> MUXA.b;
+  connect R2.q -> MUXA.c;
+  connect R3.q -> MUXA.d;
+  connect MUXA.y -> ALU.a;
+
+  -- ALU operand b
+  connect R0.q -> MUXB.a;
+  connect R1.q -> MUXB.b;
+  connect R2.q -> MUXB.c;
+  connect DMEM.dout -> MUXB.d;
+  connect IM.word[7:0] -> MUXB.e;
+  connect PIN -> MUXB.g;
+  connect MUXB.y -> ALU.b;
+
+  -- MAC operands
+  connect R0.q -> MUXMA.a;
+  connect R1.q -> MUXMA.b;
+  connect MUXMA.y -> MAC.a;
+
+  connect R2.q -> MUXMB.a;
+  connect R3.q -> MUXMB.b;
+  connect DMEM.dout -> MUXMB.c;
+  connect IM.word[7:0] -> MUXMB.d;
+  connect MUXMB.y -> MAC.b;
+
+  connect R0.q -> MUXMC.a;
+  connect R1.q -> MUXMC.b;
+  connect R2.q -> MUXMC.c;
+  connect R3.q -> MUXMC.d;
+  connect MUXMC.y -> MAC.c;
+
+  -- result selection and distribution
+  connect ALU.y -> MUXRES.a;
+  connect MAC.y -> MUXRES.b;
+  connect MUXRES.y -> R0.d;
+  connect MUXRES.y -> R1.d;
+  connect MUXRES.y -> R2.d;
+  connect MUXRES.y -> R3.d;
+  connect MUXRES.y -> AR.d;
+
+  -- memory
+  connect R0.q -> MUXDIN.a;
+  connect R1.q -> MUXDIN.b;
+  connect R2.q -> MUXDIN.c;
+  connect R3.q -> MUXDIN.d;
+  connect MUXDIN.y -> DMEM.din;
+
+  connect IM.word[7:0] -> MUXADDR.a;
+  connect AR.q -> MUXADDR.b;
+  connect MUXADDR.y -> DMEM.addr;
+
+  connect R0.q -> POUT;
+end structure;
+"""

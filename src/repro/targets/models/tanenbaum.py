@@ -1,0 +1,209 @@
+"""The ``tanenbaum`` processor after the Mac-1 machine of Tanenbaum's
+*Structured Computer Organization*.
+
+An accumulator/stack-pointer architecture: the accumulator ``AC`` works
+against direct-addressed memory operands or small immediates, and the stack
+pointer ``SP`` can be incremented/decremented and used as an indirect
+memory address -- giving the machine two addressing modes and two
+destinations with different capabilities (a mildly heterogeneous register
+structure).
+"""
+
+HDL_SOURCE = """
+processor tanenbaum;
+
+port PIN  : in 16;
+port POUT : out 16;
+
+module IM kind instruction_memory
+  out word : 16;
+end module;
+
+module DMEM kind memory
+  in  addr : 12;
+  in  din  : 16;
+  in  wr   : 1;
+  out dout : 16;
+behavior
+  dout := mem[addr];
+  mem[addr] := din when wr == 1;
+end module;
+
+module AC kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module SP kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module ALU kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  f : 2;
+  out y : 16;
+behavior
+  y := case f
+         when 0 => a + b;
+         when 1 => a - b;
+         when 2 => b;
+         when 3 => a;
+       end;
+end module;
+
+-- Dedicated stack-pointer adjust unit (push/pop address arithmetic).
+module SPADJ kind combinational
+  in  a : 16;
+  in  f : 1;
+  out y : 16;
+behavior
+  y := case f
+         when 0 => a + 1;
+         when 1 => a - 1;
+       end;
+end module;
+
+module MUXB kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  c : 16;
+  in  s : 2;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+         when 2 => c;
+       end;
+end module;
+
+module MUXADDR kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  s : 1;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+       end;
+end module;
+
+module MUXSP kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  s : 1;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+       end;
+end module;
+
+module DEC kind decoder
+  in  opc : 4;
+  out alu_f  : 2;
+  out ac_ld  : 1;
+  out sp_ld  : 1;
+  out mem_wr : 1;
+  out sb     : 2;
+  out saddr  : 1;
+  out sp_f   : 1;
+  out ssp    : 1;
+behavior
+  alu_f := case opc
+             when 0 => 2;
+             when 1 => 0;
+             when 2 => 1;
+             when 3 => 0;
+             when 4 => 1;
+             when 5 => 2;
+             when 6 => 2;
+             when 10 => 3;
+             else => 3;
+           end;
+  ac_ld := case opc
+             when 0 => 1;
+             when 1 => 1;
+             when 2 => 1;
+             when 3 => 1;
+             when 4 => 1;
+             when 5 => 1;
+             when 10 => 1;
+             else => 0;
+           end;
+  sp_ld := case opc
+             when 7 => 1;
+             when 8 => 1;
+             when 9 => 1;
+             else => 0;
+           end;
+  mem_wr := case opc
+              when 6 => 1;
+              when 11 => 1;
+              else => 0;
+            end;
+  sb := case opc
+          when 3 => 1;
+          when 4 => 1;
+          when 5 => 2;
+          when 10 => 0;
+          else => 0;
+        end;
+  saddr := case opc
+             when 11 => 1;
+             when 12 => 1;
+             else => 0;
+           end;
+  sp_f := case opc
+            when 8 => 1;
+            else => 0;
+          end;
+  ssp := case opc
+           when 9 => 1;
+           else => 0;
+         end;
+end module;
+
+structure
+  connect IM.word[15:12] -> DEC.opc;
+
+  connect DEC.alu_f  -> ALU.f;
+  connect DEC.ac_ld  -> AC.ld;
+  connect DEC.sp_ld  -> SP.ld;
+  connect DEC.mem_wr -> DMEM.wr;
+  connect DEC.sb     -> MUXB.s;
+  connect DEC.saddr  -> MUXADDR.s;
+  connect DEC.sp_f   -> SPADJ.f;
+  connect DEC.ssp    -> MUXSP.s;
+
+  connect AC.q -> ALU.a;
+  connect DMEM.dout    -> MUXB.a;
+  connect IM.word[11:0] -> MUXB.b;
+  connect PIN          -> MUXB.c;
+  connect MUXB.y -> ALU.b;
+
+  connect SP.q -> SPADJ.a;
+  connect SPADJ.y -> MUXSP.a;
+  connect ALU.y   -> MUXSP.b;
+  connect MUXSP.y -> SP.d;
+
+  connect ALU.y -> AC.d;
+
+  connect IM.word[11:0] -> MUXADDR.a;
+  connect SP.q          -> MUXADDR.b;
+  connect MUXADDR.y     -> DMEM.addr;
+
+  connect AC.q -> DMEM.din;
+  connect AC.q -> POUT;
+end structure;
+"""

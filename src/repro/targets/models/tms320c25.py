@@ -1,0 +1,307 @@
+"""A TMS320C25-style DSP model.
+
+The model captures the architectural features of the TI TMS320C25 that
+matter for code selection on the DSPStone kernels: the heterogeneous
+register set (accumulator ``ACC``, multiplier operand register ``TREG``,
+product register ``PREG``, address register ``AR``), memory-register ALU
+operations with direct or register-indirect addressing, a scaling shifter
+on the memory-to-accumulator path, and a multiply / multiply-accumulate
+path.  The chained ``ACC := ACC +/- TREG * mem`` templates stand in for the
+C25's pipelined LTA/MPYA (MAC) throughput of one tap per instruction --
+this substitution preserves the per-instruction shape the paper's figure 2
+relies on (RECORD exploiting chained operations, a conventional compiler
+not).
+
+The 16-bit instruction word holds a 4-bit opcode (decoded), an addressing
+mode bit and an 8-bit direct address / immediate field.
+"""
+
+HDL_SOURCE = """
+processor tms320c25;
+
+port PIN  : in 16;
+port POUT : out 16;
+
+module IM kind instruction_memory
+  out word : 16;
+end module;
+
+module DMEM kind memory
+  in  addr : 8;
+  in  din  : 16;
+  in  wr   : 1;
+  out dout : 16;
+behavior
+  dout := mem[addr];
+  mem[addr] := din when wr == 1;
+end module;
+
+module ACC kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module TREG kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module PREG kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+module AR kind register
+  in  d  : 16;
+  in  ld : 1;
+  out q  : 16;
+behavior
+  q := d when ld == 1;
+end module;
+
+-- Address-register update unit (post-modify style increment/decrement).
+module ARAU kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  f : 2;
+  out y : 16;
+behavior
+  y := case f
+         when 0 => a + 1;
+         when 1 => a - 1;
+         when 2 => b;
+         when 3 => a;
+       end;
+end module;
+
+-- Multiplier: TREG times a memory operand or a short immediate.
+module MULT kind combinational
+  in  a : 16;
+  in  b : 16;
+  out y : 16;
+behavior
+  y := a * b;
+end module;
+
+module MUXM kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  s : 1;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+       end;
+end module;
+
+-- Central ALU working against the accumulator.
+module ALU kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  f : 3;
+  out y : 16;
+behavior
+  y := case f
+         when 0 => a + b;
+         when 1 => a - b;
+         when 2 => b;
+         when 3 => a & b;
+         when 4 => a | b;
+         when 5 => a ^ b;
+         when 6 => a;
+       end;
+end module;
+
+-- Operand selection for the ALU b input: memory, product register,
+-- multiplier output (chained MAC), immediate or input port.
+module MUXB kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  c : 16;
+  in  d : 16;
+  in  e : 16;
+  in  s : 3;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+         when 2 => c;
+         when 3 => d;
+         when 4 => e;
+       end;
+end module;
+
+-- Scaling shifter on the memory-to-ALU path (LAC with shift).
+module SHIFTER kind combinational
+  in  a : 16;
+  in  n : 2;
+  out y : 16;
+behavior
+  y := case n
+         when 0 => a;
+         when 1 => a << 1;
+         when 2 => a << 2;
+         when 3 => a << 3;
+       end;
+end module;
+
+module MUXADDR kind combinational
+  in  a : 16;
+  in  b : 16;
+  in  s : 1;
+  out y : 16;
+behavior
+  y := case s
+         when 0 => a;
+         when 1 => b;
+       end;
+end module;
+
+module DEC kind decoder
+  in  opc : 4;
+  out alu_f   : 3;
+  out acc_ld  : 1;
+  out t_ld    : 1;
+  out p_ld    : 1;
+  out ar_ld   : 1;
+  out arau_f  : 2;
+  out mem_wr  : 1;
+  out sb      : 3;
+  out sm      : 1;
+  out shift_n : 2;
+behavior
+  alu_f := case opc
+             when 0 => 0;
+             when 1 => 1;
+             when 2 => 2;
+             when 3 => 0;
+             when 4 => 1;
+             when 5 => 0;
+             when 6 => 1;
+             when 7 => 3;
+             when 8 => 4;
+             when 9 => 5;
+             when 10 => 2;
+             when 14 => 2;
+             else => 6;
+           end;
+  acc_ld := case opc
+              when 0 => 1;
+              when 1 => 1;
+              when 2 => 1;
+              when 3 => 1;
+              when 4 => 1;
+              when 5 => 1;
+              when 6 => 1;
+              when 7 => 1;
+              when 8 => 1;
+              when 9 => 1;
+              when 10 => 1;
+              when 14 => 1;
+              else => 0;
+            end;
+  t_ld := case opc
+            when 11 => 1;
+            else => 0;
+          end;
+  p_ld := case opc
+            when 12 => 1;
+            when 5 => 1;
+            when 6 => 1;
+            else => 0;
+          end;
+  ar_ld := case opc
+             when 15 => 1;
+             else => 0;
+           end;
+  arau_f := case opc
+              when 15 => 0;
+              else => 3;
+            end;
+  mem_wr := case opc
+              when 13 => 1;
+              else => 0;
+            end;
+  sb := case opc
+          when 0 => 0;
+          when 1 => 0;
+          when 2 => 0;
+          when 3 => 1;
+          when 4 => 1;
+          when 5 => 2;
+          when 6 => 2;
+          when 7 => 0;
+          when 8 => 0;
+          when 9 => 0;
+          when 10 => 3;
+          when 14 => 1;
+          else => 0;
+        end;
+  sm := case opc
+          when 12 => 0;
+          else => 0;
+        end;
+  shift_n := case opc
+               when 2 => 0;
+               else => 0;
+             end;
+end module;
+
+structure
+  connect IM.word[15:12] -> DEC.opc;
+
+  connect DEC.alu_f   -> ALU.f;
+  connect DEC.acc_ld  -> ACC.ld;
+  connect DEC.t_ld    -> TREG.ld;
+  connect DEC.p_ld    -> PREG.ld;
+  connect DEC.ar_ld   -> AR.ld;
+  connect DEC.arau_f  -> ARAU.f;
+  connect DEC.mem_wr  -> DMEM.wr;
+  connect DEC.sb      -> MUXB.s;
+  connect DEC.sm      -> MUXM.s;
+  connect DEC.shift_n -> SHIFTER.n;
+
+  -- addressing: direct (instruction field) or indirect (address register)
+  connect IM.word[7:0] -> MUXADDR.a;
+  connect AR.q         -> MUXADDR.b;
+  connect IM.word[8:8] -> MUXADDR.s;
+  connect MUXADDR.y    -> DMEM.addr;
+
+  -- multiplier path
+  connect TREG.q       -> MULT.a;
+  connect DMEM.dout    -> MUXM.a;
+  connect IM.word[7:0] -> MUXM.b;
+  connect MUXM.y       -> MULT.b;
+  connect MULT.y       -> PREG.d;
+
+  -- accumulator / ALU path
+  connect ACC.q -> ALU.a;
+  connect SHIFTER.y    -> MUXB.a;
+  connect PREG.q       -> MUXB.b;
+  connect MULT.y       -> MUXB.c;
+  connect IM.word[7:0] -> MUXB.d;
+  connect PIN          -> MUXB.e;
+  connect MUXB.y -> ALU.b;
+  connect DMEM.dout -> SHIFTER.a;
+  connect ALU.y -> ACC.d;
+
+  -- T register load, address register update, stores
+  connect DMEM.dout -> TREG.d;
+  connect AR.q         -> ARAU.a;
+  connect IM.word[7:0] -> ARAU.b;
+  connect ARAU.y       -> AR.d;
+  connect ACC.q -> DMEM.din;
+  connect ACC.q -> POUT;
+end structure;
+"""

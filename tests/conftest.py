@@ -1,0 +1,43 @@
+"""Shared fixtures: retargeted processors are expensive enough to share."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.record.compiler import RecordCompiler
+from repro.record.retarget import retarget
+from repro.targets.library import all_target_names, target_hdl_source
+
+
+@pytest.fixture(scope="session")
+def retarget_results():
+    """Retargeting results for every built-in target, computed once."""
+    results = {}
+    for name in all_target_names():
+        results[name] = retarget(target_hdl_source(name))
+    return results
+
+
+@pytest.fixture(scope="session")
+def demo_result(retarget_results):
+    return retarget_results["demo"]
+
+
+@pytest.fixture(scope="session")
+def tms_result(retarget_results):
+    return retarget_results["tms320c25"]
+
+
+@pytest.fixture(scope="session")
+def ref_result(retarget_results):
+    return retarget_results["ref"]
+
+
+@pytest.fixture(scope="session")
+def tms_compiler(tms_result):
+    return RecordCompiler(tms_result)
+
+
+@pytest.fixture(scope="session")
+def demo_compiler(demo_result):
+    return RecordCompiler(demo_result)

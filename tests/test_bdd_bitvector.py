@@ -1,0 +1,118 @@
+"""Unit tests for the symbolic bit-vector layer."""
+
+import pytest
+
+from repro.bdd import BDDManager, BitVector, bitvector_const, bitvector_equals
+
+
+@pytest.fixture()
+def manager():
+    return BDDManager()
+
+
+class TestConstruction:
+    def test_constant_roundtrip(self, manager):
+        vector = BitVector.constant(manager, 0b1011, 4)
+        assert vector.constant_value() == 0b1011
+        assert vector.width == 4
+        assert vector.is_constant()
+
+    def test_constant_truncates_to_width(self, manager):
+        vector = BitVector.constant(manager, 0b10110, 4)
+        assert vector.constant_value() == 0b0110
+
+    def test_variables_are_symbolic(self, manager):
+        vector = BitVector.variables(manager, "w", 3)
+        assert vector.width == 3
+        assert not vector.is_constant()
+        assert vector.constant_value() is None
+
+    def test_helper_functions(self, manager):
+        vector = bitvector_const(manager, 5, 4)
+        assert bitvector_equals(vector, 5).is_true()
+        assert bitvector_equals(vector, 6).is_false()
+
+
+class TestSlicingAndResizing:
+    def test_slice(self, manager):
+        vector = BitVector.constant(manager, 0b110100, 6)
+        assert vector.slice(2, 4).constant_value() == 0b101
+
+    def test_slice_bounds_checked(self, manager):
+        vector = BitVector.constant(manager, 0, 4)
+        with pytest.raises(ValueError):
+            vector.slice(1, 4)
+        with pytest.raises(ValueError):
+            vector.slice(3, 1)
+
+    def test_zero_extend_and_shrink(self, manager):
+        vector = BitVector.constant(manager, 0b11, 2)
+        assert vector.zero_extend(5).constant_value() == 0b11
+        assert vector.zero_extend(5).width == 5
+        assert vector.zero_extend(1).constant_value() == 1
+
+    def test_concat(self, manager):
+        low = BitVector.constant(manager, 0b01, 2)
+        high = BitVector.constant(manager, 0b11, 2)
+        assert low.concat(high).constant_value() == 0b1101
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("bitwise_and", 0b1100, 0b1010, 0b1000),
+            ("bitwise_or", 0b1100, 0b1010, 0b1110),
+            ("bitwise_xor", 0b1100, 0b1010, 0b0110),
+        ],
+    )
+    def test_bitwise(self, manager, op, a, b, expected):
+        left = BitVector.constant(manager, a, 4)
+        right = BitVector.constant(manager, b, 4)
+        assert getattr(left, op)(right).constant_value() == expected
+
+    def test_bitwise_not(self, manager):
+        vector = BitVector.constant(manager, 0b0101, 4)
+        assert vector.bitwise_not().constant_value() == 0b1010
+
+    def test_add(self, manager):
+        a = BitVector.constant(manager, 9, 4)
+        b = BitVector.constant(manager, 5, 4)
+        assert a.add(b).constant_value() == 14
+
+    def test_add_wraps(self, manager):
+        a = BitVector.constant(manager, 15, 4)
+        b = BitVector.constant(manager, 2, 4)
+        assert a.add(b).constant_value() == 1
+
+    def test_add_mixed_width(self, manager):
+        a = BitVector.constant(manager, 3, 2)
+        b = BitVector.constant(manager, 8, 4)
+        assert a.add(b).constant_value() == 11
+
+    def test_equals_constant_symbolic(self, manager):
+        vector = BitVector.variables(manager, "f", 2)
+        condition = vector.equals_constant(2)
+        assert condition.evaluate({"f[0]": False, "f[1]": True})
+        assert not condition.evaluate({"f[0]": True, "f[1]": True})
+
+    def test_equals_is_exhaustive(self, manager):
+        vector = BitVector.variables(manager, "g", 2)
+        conditions = [vector.equals_constant(value) for value in range(4)]
+        union = manager.disjoin(iter(conditions))
+        assert union.is_true()
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert (conditions[i] & conditions[j]).is_false()
+
+    def test_if_then_else(self, manager):
+        condition = manager.variable("sel")
+        then_value = BitVector.constant(manager, 5, 4)
+        else_value = BitVector.constant(manager, 9, 4)
+        result = then_value.if_then_else(condition, else_value)
+        assert result.equals_constant(5) == condition
+        assert result.equals_constant(9) == ~condition
+
+    def test_repr_mentions_width(self, manager):
+        assert "width=4" in repr(BitVector.constant(manager, 3, 4))
+        assert "symbolic" in repr(BitVector.variables(manager, "s", 2))

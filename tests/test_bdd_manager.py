@@ -1,0 +1,171 @@
+"""Unit tests for the ROBDD manager."""
+
+import pytest
+
+from repro.bdd import BDDManager
+
+
+@pytest.fixture()
+def manager():
+    return BDDManager()
+
+
+class TestConstants:
+    def test_true_is_tautology(self, manager):
+        assert manager.true.is_tautology()
+        assert manager.true.is_true()
+
+    def test_false_is_unsatisfiable(self, manager):
+        assert not manager.false.satisfiable()
+        assert manager.false.is_false()
+
+    def test_constant_helper(self, manager):
+        assert manager.constant(True) == manager.true
+        assert manager.constant(False) == manager.false
+
+    def test_constants_are_constant(self, manager):
+        assert manager.true.is_constant()
+        assert manager.false.is_constant()
+        assert not manager.variable("x").is_constant()
+
+
+class TestVariables:
+    def test_variable_is_satisfiable_but_not_tautology(self, manager):
+        x = manager.variable("x")
+        assert x.satisfiable()
+        assert not x.is_tautology()
+
+    def test_variable_is_hash_consed(self, manager):
+        assert manager.variable("x") == manager.variable("x")
+
+    def test_declared_variables_keep_order(self, manager):
+        manager.variable("b")
+        manager.variable("a")
+        manager.variable("c")
+        assert manager.declared_variables() == ["b", "a", "c"]
+
+
+class TestConnectives:
+    def test_and_with_false_is_false(self, manager):
+        x = manager.variable("x")
+        assert (x & manager.false).is_false()
+
+    def test_and_with_true_is_identity(self, manager):
+        x = manager.variable("x")
+        assert (x & manager.true) == x
+
+    def test_or_with_true_is_true(self, manager):
+        x = manager.variable("x")
+        assert (x | manager.true).is_true()
+
+    def test_x_and_not_x_is_false(self, manager):
+        x = manager.variable("x")
+        assert (x & ~x).is_false()
+
+    def test_x_or_not_x_is_true(self, manager):
+        x = manager.variable("x")
+        assert (x | ~x).is_true()
+
+    def test_double_negation(self, manager):
+        x = manager.variable("x")
+        assert ~(~x) == x
+
+    def test_xor_self_is_false(self, manager):
+        x = manager.variable("x")
+        assert (x ^ x).is_false()
+
+    def test_xor_with_true_is_negation(self, manager):
+        x = manager.variable("x")
+        assert (x ^ manager.true) == ~x
+
+    def test_de_morgan(self, manager):
+        x, y = manager.variable("x"), manager.variable("y")
+        assert ~(x & y) == (~x | ~y)
+
+    def test_implies(self, manager):
+        x, y = manager.variable("x"), manager.variable("y")
+        implication = x.implies(y)
+        assert implication.evaluate({"x": False, "y": False})
+        assert not implication.evaluate({"x": True, "y": False})
+
+    def test_iff(self, manager):
+        x, y = manager.variable("x"), manager.variable("y")
+        equivalence = x.iff(y)
+        assert equivalence.evaluate({"x": True, "y": True})
+        assert not equivalence.evaluate({"x": True, "y": False})
+
+    def test_mixing_managers_is_rejected(self, manager):
+        other = BDDManager()
+        with pytest.raises(ValueError):
+            _ = manager.variable("x") & other.variable("x")
+
+
+class TestQueries:
+    def test_support(self, manager):
+        x, y, z = (manager.variable(n) for n in "xyz")
+        function = (x & y) | z
+        assert function.support() == ["x", "y", "z"]
+
+    def test_support_of_constant_is_empty(self, manager):
+        assert manager.true.support() == []
+
+    def test_restrict_to_true_branch(self, manager):
+        x, y = manager.variable("x"), manager.variable("y")
+        assert (x & y).restrict({"x": True}) == y
+        assert (x & y).restrict({"x": False}).is_false()
+
+    def test_restrict_ignores_unknown_variables(self, manager):
+        x = manager.variable("x")
+        assert x.restrict({"nope": True}) == x
+
+    def test_sat_count(self, manager):
+        x, y = manager.variable("x"), manager.variable("y")
+        assert (x & y).sat_count() == 1
+        assert (x | y).sat_count() == 3
+        assert manager.true.sat_count() == 4
+
+    def test_sat_count_explicit_width(self, manager):
+        x = manager.variable("x")
+        manager.variable("y")
+        manager.variable("z")
+        assert x.sat_count(nvars=3) == 4
+
+    def test_one_sat_of_false_is_none(self, manager):
+        assert manager.false.one_sat() is None
+
+    def test_one_sat_satisfies(self, manager):
+        x, y = manager.variable("x"), manager.variable("y")
+        function = x & ~y
+        assignment = function.one_sat()
+        assert function.evaluate(assignment)
+
+    def test_evaluate_defaults_missing_to_false(self, manager):
+        x = manager.variable("x")
+        assert not x.evaluate({})
+
+    def test_conjoin_and_disjoin(self, manager):
+        variables = [manager.variable(n) for n in "abc"]
+        conjunction = manager.conjoin(iter(variables))
+        disjunction = manager.disjoin(iter(variables))
+        assert conjunction.sat_count() == 1
+        assert disjunction.sat_count() == 7
+        assert manager.conjoin(iter([])).is_true()
+        assert manager.disjoin(iter([])).is_false()
+
+    def test_unknown_apply_operation_rejected(self, manager):
+        with pytest.raises(ValueError):
+            manager._apply("nand", manager.true.node, manager.false.node)
+
+
+class TestStructuralSharing:
+    def test_equivalent_functions_share_node(self, manager):
+        x, y = manager.variable("x"), manager.variable("y")
+        a = (x & y) | (x & ~y)
+        assert a == x
+
+    def test_node_count_grows_modestly(self, manager):
+        variables = [manager.variable("v%d" % i) for i in range(10)]
+        function = manager.false
+        for variable in variables:
+            function = function | variable
+        assert manager.num_nodes() < 200

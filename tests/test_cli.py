@@ -1,0 +1,85 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_exist(self):
+        parser = build_parser()
+        for command in (["targets"], ["kernels"], ["retarget", "demo"], ["compile", "demo"]):
+            args = parser.parse_args(command)
+            assert args.command == command[0]
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 1
+        captured = capsys.readouterr()
+        assert "usage" in captured.out.lower()
+
+
+class TestCommands:
+    def test_targets_lists_all_six(self, capsys):
+        assert main(["targets"]) == 0
+        output = capsys.readouterr().out
+        for name in ("demo", "ref", "manocpu", "tanenbaum", "bass_boost", "tms320c25"):
+            assert name in output
+
+    def test_kernels_lists_all_ten(self, capsys):
+        assert main(["kernels"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("\n") >= 10
+        assert "fir" in output and "biquad_n" in output
+
+    def test_retarget_builtin_target(self, capsys):
+        assert main(["retarget", "bass_boost", "--templates", "--features"]) == 0
+        output = capsys.readouterr().out
+        assert "Retargeting report" in output
+        assert "ACC := add(ACC, mul(XREG, CROM))" in output
+        assert "fixed-point" in output
+
+    def test_retarget_bnf(self, capsys):
+        assert main(["retarget", "manocpu", "--bnf"]) == 0
+        output = capsys.readouterr().out
+        assert "%start START" in output
+
+    def test_retarget_hdl_file(self, tmp_path, capsys):
+        from repro.targets import target_hdl_source
+
+        hdl_file = tmp_path / "machine.hdl"
+        hdl_file.write_text(target_hdl_source("demo"))
+        assert main(["retarget", str(hdl_file)]) == 0
+        assert "demo" in capsys.readouterr().out
+
+    def test_retarget_unknown_target_fails(self):
+        with pytest.raises(SystemExit):
+            main(["retarget", "z80"])
+
+    def test_compile_kernel(self, capsys):
+        assert main(["compile", "tms320c25", "--kernel", "real_update", "--binary"]) == 0
+        output = capsys.readouterr().out
+        assert "code size: 4 instruction words" in output
+        assert "100%" in output
+        assert "IM:" in output
+
+    def test_compile_kernel_with_baseline(self, capsys):
+        assert main(["compile", "tms320c25", "--kernel", "real_update", "--baseline"]) == 0
+        output = capsys.readouterr().out
+        assert "code size: 5 instruction words" in output
+
+    def test_compile_source_file(self, tmp_path, capsys):
+        source = tmp_path / "prog.c"
+        source.write_text("int a, b, c; c = a * b + c;")
+        assert main(["compile", "tms320c25", str(source)]) == 0
+        output = capsys.readouterr().out
+        assert "instruction words" in output
+
+    def test_compile_without_input_fails(self):
+        with pytest.raises(SystemExit):
+            main(["compile", "tms320c25"])
+
+    def test_table3_command(self, capsys):
+        assert main(["table3"]) == 0
+        output = capsys.readouterr().out
+        for name in ("demo", "ref", "tms320c25"):
+            assert name in output

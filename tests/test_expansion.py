@@ -1,0 +1,152 @@
+"""Unit tests for template-base expansion (commutativity + rewrite rules)."""
+
+from repro.bdd import BDDManager
+from repro.expansion import (
+    ExpansionOptions,
+    RewriteRule,
+    apply_rewrite_rules,
+    default_transformation_library,
+    expand_commutative,
+    expand_template_base,
+    identity_rules,
+)
+from repro.expansion.commutativity import swap_variants
+from repro.expansion.rewrite import Slot
+from repro.ise import ConstLeaf, OpNode, RTTemplate, RTTemplateBase, RegLeaf
+
+
+def _template(pattern, destination="ACC"):
+    manager = BDDManager()
+    return RTTemplate(destination, pattern, manager.true)
+
+
+class TestCommutativity:
+    def test_simple_swap(self):
+        pattern = OpNode("add", (RegLeaf("A"), RegLeaf("B")))
+        variants = swap_variants(pattern)
+        assert [str(v) for v in variants] == ["add(B, A)"]
+
+    def test_non_commutative_operator_has_no_variants(self):
+        pattern = OpNode("sub", (RegLeaf("A"), RegLeaf("B")))
+        assert swap_variants(pattern) == []
+
+    def test_identical_operands_have_no_variants(self):
+        pattern = OpNode("add", (RegLeaf("A"), RegLeaf("A")))
+        assert swap_variants(pattern) == []
+
+    def test_nested_swaps(self):
+        pattern = OpNode("add", (RegLeaf("C"), OpNode("mul", (RegLeaf("A"), RegLeaf("B")))))
+        rendered = {str(v) for v in swap_variants(pattern)}
+        assert "add(mul(A, B), C)" in rendered
+        assert "add(C, mul(B, A))" in rendered
+        assert "add(mul(B, A), C)" in rendered
+        assert len(rendered) == 3
+
+    def test_unary_operators_pass_through(self):
+        pattern = OpNode("neg", (OpNode("add", (RegLeaf("A"), RegLeaf("B"))),))
+        rendered = {str(v) for v in swap_variants(pattern)}
+        assert rendered == {"neg(add(B, A))"}
+
+    def test_expand_commutative_preserves_destination_and_condition(self):
+        template = _template(OpNode("add", (RegLeaf("A"), RegLeaf("B"))), destination="X")
+        additions = expand_commutative([template])
+        assert len(additions) == 1
+        assert additions[0].destination == "X"
+        assert additions[0].origin == "commutativity"
+        assert additions[0].condition == template.condition
+
+
+class TestRewriteRules:
+    def test_sub_via_add_neg(self):
+        rule = next(r for r in default_transformation_library() if r.name == "sub_via_add_neg")
+        template = _template(OpNode("add", (RegLeaf("A"), OpNode("neg", (RegLeaf("B"),)))))
+        rewritten = rule.apply(template)
+        assert rewritten is not None
+        assert str(rewritten.pattern) == "sub(A, B)"
+        assert rewritten.origin == "rewrite:sub_via_add_neg"
+
+    def test_rule_does_not_match_other_shapes(self):
+        rule = next(r for r in default_transformation_library() if r.name == "sub_via_add_neg")
+        template = _template(OpNode("add", (RegLeaf("A"), RegLeaf("B"))))
+        assert rule.apply(template) is None
+
+    def test_repeated_slots_require_equal_subpatterns(self):
+        rule = next(r for r in default_transformation_library() if r.name == "mul2_via_add")
+        matching = _template(OpNode("add", (RegLeaf("A"), RegLeaf("A"))))
+        not_matching = _template(OpNode("add", (RegLeaf("A"), RegLeaf("B"))))
+        assert rule.apply(matching) is not None
+        assert rule.apply(not_matching) is None
+
+    def test_constant_leaf_in_schema_matches_exact_value(self):
+        rule = next(r for r in default_transformation_library() if r.name == "neg_via_sub_zero")
+        matching = _template(OpNode("sub", (ConstLeaf(0), RegLeaf("A"))))
+        not_matching = _template(OpNode("sub", (ConstLeaf(1), RegLeaf("A"))))
+        assert str(rule.apply(matching).pattern) == "neg(A)"
+        assert rule.apply(not_matching) is None
+
+    def test_identity_rules_match_everything(self):
+        rules = identity_rules()
+        template = _template(RegLeaf("A"))
+        results = apply_rewrite_rules([template], rules)
+        rendered = {str(t.pattern) for t in results}
+        assert rendered == {"mul(A, #1)", "add(A, #0)"}
+
+    def test_custom_rule(self):
+        x = Slot(0)
+        rule = RewriteRule(
+            name="double_neg",
+            hardware_schema=x,
+            source_schema=OpNode("neg", (OpNode("neg", (x,)),)),
+        )
+        template = _template(RegLeaf("R"))
+        rewritten = rule.apply(template)
+        assert str(rewritten.pattern) == "neg(neg(R))"
+
+
+class TestExpander:
+    def _base(self):
+        base = RTTemplateBase(processor="p")
+        base.add(_template(OpNode("add", (RegLeaf("ACC"), RegLeaf("MEM")))))
+        base.add(_template(OpNode("sub", (RegLeaf("ACC"), RegLeaf("MEM")))))
+        base.add(_template(RegLeaf("MEM")))
+        return base
+
+    def test_default_expansion_adds_commutative_variants(self):
+        extended = expand_template_base(self._base())
+        rendered = {str(t.pattern) for t in extended}
+        assert "add(MEM, ACC)" in rendered
+        assert len(extended) > 3
+
+    def test_expansion_is_duplicate_free(self):
+        extended = expand_template_base(self._base())
+        keys = {(t.destination, str(t.pattern), t.condition.node) for t in extended}
+        assert len(keys) == len(extended)
+
+    def test_commutativity_can_be_disabled(self):
+        options = ExpansionOptions(use_commutativity=False, use_rewrite_rules=False)
+        extended = expand_template_base(self._base(), options)
+        assert len(extended) == 3
+
+    def test_rewrites_can_be_disabled(self):
+        options = ExpansionOptions(use_rewrite_rules=False)
+        extended = expand_template_base(self._base(), options)
+        assert all(not t.origin.startswith("rewrite") for t in extended)
+
+    def test_custom_rule_list(self):
+        x = Slot(0)
+        rule = RewriteRule(
+            name="lnot_twice",
+            hardware_schema=x,
+            source_schema=OpNode("lnot", (OpNode("lnot", (x,)),)),
+        )
+        options = ExpansionOptions(use_commutativity=False, rules=[rule])
+        extended = expand_template_base(self._base(), options)
+        rendered = {str(t.pattern) for t in extended}
+        assert "lnot(lnot(MEM))" in rendered
+
+    def test_originals_are_preserved(self):
+        base = self._base()
+        extended = expand_template_base(base)
+        original_patterns = {str(t.pattern) for t in base}
+        extended_patterns = {str(t.pattern) for t in extended}
+        assert original_patterns <= extended_patterns

@@ -1,0 +1,148 @@
+"""Unit tests for the source-language frontend."""
+
+import pytest
+
+from repro.frontend import (
+    LoweringError,
+    SourceSyntaxError,
+    lower_to_program,
+    parse_source,
+    tokenize_source,
+)
+from repro.ir import Const, Op, VarRef
+
+
+class TestLexer:
+    def test_tokens(self):
+        tokens = tokenize_source("int a; a = a + 1;")
+        kinds = [t.kind for t in tokens]
+        assert kinds[0] == "keyword"
+        assert kinds[-1] == "eof"
+
+    def test_comments(self):
+        tokens = tokenize_source("// line comment\nint a; /* block\ncomment */ a = 1;")
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert texts[0] == "int"
+        assert "comment" not in texts
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SourceSyntaxError):
+            tokenize_source("/* never ends")
+
+    def test_bad_character(self):
+        with pytest.raises(SourceSyntaxError):
+            tokenize_source("int a; a = $;")
+
+    def test_bad_number(self):
+        with pytest.raises(SourceSyntaxError):
+            tokenize_source("a = 0z9;")
+
+    def test_line_numbers(self):
+        tokens = tokenize_source("int a;\na = 1;")
+        assignment_token = [t for t in tokens if t.text == "="][0]
+        assert assignment_token.line == 2
+
+
+class TestParser:
+    def test_declarations(self):
+        program = parse_source("int a, b; int x[4];")
+        assert [d.name for d in program.scalars] == ["a", "b"]
+        assert program.arrays[0].name == "x" and program.arrays[0].size == 4
+        assert program.declared_names() == ("a", "b", "x")
+
+    def test_assignment_with_precedence(self):
+        program = parse_source("int a, b, c, d; d = a + b * c;")
+        expression = program.assignments[0].expression
+        assert expression.operator == "+"
+        assert expression.right.operator == "*"
+
+    def test_array_target_and_operand(self):
+        program = parse_source("int x[4], y[4]; y[1] = x[2];")
+        assignment = program.assignments[0]
+        assert assignment.target_name == "y"
+        assert assignment.target_index is not None
+
+    def test_unary_and_parentheses(self):
+        program = parse_source("int a, b; a = -(a + b);")
+        expression = program.assignments[0].expression
+        assert expression.operator == "-"
+
+    def test_missing_semicolon(self):
+        with pytest.raises(SourceSyntaxError):
+            parse_source("int a")
+
+    def test_bad_expression(self):
+        with pytest.raises(SourceSyntaxError):
+            parse_source("int a; a = + ;")
+
+
+class TestLowering:
+    def test_simple_statement(self):
+        program = lower_to_program("int a, b, c, d; d = c + a * b;", name="k")
+        assert program.name == "k"
+        block = program.single_block()
+        assert len(block.statements) == 1
+        statement = block.statements[0]
+        assert statement.destination == "d"
+        assert isinstance(statement.expression, Op)
+        assert statement.expression.op == "add"
+
+    def test_array_elements_become_named_variables(self):
+        program = lower_to_program("int x[4], y; y = x[0] + x[3];")
+        statement = program.single_block().statements[0]
+        assert expr_names(statement.expression) == {"x[0]", "x[3]"}
+        assert program.arrays == {"x": 4}
+
+    def test_constant_index_arithmetic(self):
+        program = lower_to_program("int x[8], y; y = x[2 + 3];")
+        statement = program.single_block().statements[0]
+        assert expr_names(statement.expression) == {"x[5]"}
+
+    def test_operator_mapping(self):
+        program = lower_to_program("int a, b; a = (a << 2) ^ (b >> 1) & ~b;")
+        expression = program.single_block().statements[0].expression
+        assert expression.op == "xor"
+
+    def test_undeclared_scalar_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_to_program("int a; a = zz;")
+
+    def test_undeclared_array_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_to_program("int a; a = x[0];")
+
+    def test_assignment_to_undeclared_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_to_program("int a; b = a;")
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_to_program("int x[2], a; a = x[5];")
+
+    def test_non_constant_index_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_to_program("int x[4], i, a; a = x[i];")
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(LoweringError):
+            lower_to_program("int x[4], a; a = x[-1];")
+
+    def test_execution_matches_source_semantics(self):
+        program = lower_to_program("int a, b, c, d; d = c + a * b; c = d - a;")
+        env = program.single_block().execute({"a": 2, "b": 3, "c": 4})
+        assert env["d"] == 10
+        assert env["c"] == 8
+
+
+def expr_names(expression):
+    names = set()
+    stack = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, VarRef):
+            names.add(node.name)
+        elif isinstance(node, Const):
+            pass
+        else:
+            stack.extend(node.children())
+    return names

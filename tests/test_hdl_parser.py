@@ -1,0 +1,189 @@
+"""Unit tests for the HDL parser."""
+
+import pytest
+
+from repro.hdl import (
+    BinaryExpr,
+    CaseExpr,
+    HdlParseError,
+    IdentExpr,
+    MemRefExpr,
+    ModuleKind,
+    NumberExpr,
+    PortDirection,
+    SliceExpr,
+    UnaryExpr,
+    parse_processor,
+)
+
+_MINIMAL = """
+processor tiny;
+
+module IM kind instruction_memory
+  out word : 8;
+end module;
+
+module R kind register
+  in  d : 8;
+  in  ld : 1;
+  out q : 8;
+behavior
+  q := d when ld == 1;
+end module;
+
+structure
+  connect IM.word[3:0] -> R.d;
+  connect IM.word[4:4] -> R.ld;
+end structure;
+"""
+
+
+class TestTopLevel:
+    def test_processor_name(self):
+        model = parse_processor(_MINIMAL)
+        assert model.name == "tiny"
+
+    def test_modules_parsed(self):
+        model = parse_processor(_MINIMAL)
+        assert [m.name for m in model.modules] == ["IM", "R"]
+        assert model.module("IM").kind == ModuleKind.INSTRUCTION_MEMORY
+        assert model.module("R").kind == ModuleKind.REGISTER
+        assert model.module("missing") is None
+
+    def test_default_kind_is_combinational(self):
+        model = parse_processor(
+            "processor p; module IM kind instruction_memory out w : 4; end module;"
+            " module BUF in a : 4; out y : 4; behavior y := a; end module;"
+        )
+        assert model.module("BUF").kind == ModuleKind.COMBINATIONAL
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(HdlParseError):
+            parse_processor("processor p; module X kind bogus out y : 1; end module;")
+
+    def test_missing_processor_keyword_rejected(self):
+        with pytest.raises(HdlParseError):
+            parse_processor("module X end module;")
+
+    def test_unexpected_top_level_token_rejected(self):
+        with pytest.raises(HdlParseError):
+            parse_processor("processor p; connect a -> b;")
+
+
+class TestPortsAndPrimaryPorts:
+    def test_port_directions_and_widths(self):
+        model = parse_processor(_MINIMAL)
+        register = model.module("R")
+        assert register.port("d").direction == PortDirection.IN
+        assert register.port("q").direction == PortDirection.OUT
+        assert register.port("q").width == 8
+        assert register.port("nope") is None
+
+    def test_primary_ports(self):
+        model = parse_processor(
+            "processor p; port PIN : in 16; port POUT : out 8;"
+            " module IM kind instruction_memory out w : 4; end module;"
+        )
+        assert model.primary_port("PIN").direction == PortDirection.IN
+        assert model.primary_port("POUT").width == 8
+        assert model.primary_port("missing") is None
+
+
+class TestBehavior:
+    def test_conditional_assignment(self):
+        model = parse_processor(_MINIMAL)
+        assigns = model.module("R").behavior
+        assert len(assigns) == 1
+        assert assigns[0].target == "q"
+        assert isinstance(assigns[0].condition, BinaryExpr)
+
+    def test_case_expression(self):
+        model = parse_processor(
+            "processor p; module IM kind instruction_memory out w : 4; end module;"
+            " module ALU in a : 4; in b : 4; in f : 1; out y : 4;"
+            " behavior y := case f when 0 => a + b; when 1 => a - b; else => a; end;"
+            " end module;"
+        )
+        value = model.module("ALU").behavior[0].value
+        assert isinstance(value, CaseExpr)
+        assert len(value.arms) == 3
+        assert value.arms[0].selector == 0
+        assert value.arms[2].selector is None
+
+    def test_empty_case_rejected(self):
+        with pytest.raises(HdlParseError):
+            parse_processor(
+                "processor p; module A in s : 1; out y : 1;"
+                " behavior y := case s end; end module;"
+            )
+
+    def test_memory_behaviour(self):
+        model = parse_processor(
+            "processor p; module IM kind instruction_memory out w : 4; end module;"
+            " module M kind memory in addr : 4; in din : 8; in wr : 1; out dout : 8;"
+            " behavior dout := mem[addr]; mem[addr] := din when wr == 1; end module;"
+        )
+        memory = model.module("M")
+        assert isinstance(memory.behavior[0].value, MemRefExpr)
+        assert memory.behavior[1].target_memory
+        assert isinstance(memory.behavior[1].target_address, IdentExpr)
+
+    def test_operator_precedence(self):
+        model = parse_processor(
+            "processor p; module A in a : 4; in b : 4; in c : 4; out y : 4;"
+            " behavior y := a + b * c; end module;"
+        )
+        value = model.module("A").behavior[0].value
+        assert isinstance(value, BinaryExpr) and value.operator == "+"
+        assert isinstance(value.right, BinaryExpr) and value.right.operator == "*"
+
+    def test_parentheses_override_precedence(self):
+        model = parse_processor(
+            "processor p; module A in a : 4; in b : 4; in c : 4; out y : 4;"
+            " behavior y := (a + b) * c; end module;"
+        )
+        value = model.module("A").behavior[0].value
+        assert value.operator == "*"
+        assert isinstance(value.left, BinaryExpr) and value.left.operator == "+"
+
+    def test_unary_and_slice(self):
+        model = parse_processor(
+            "processor p; module A in a : 8; out y : 8;"
+            " behavior y := ~a[7:4]; end module;"
+        )
+        value = model.module("A").behavior[0].value
+        assert isinstance(value, UnaryExpr) and value.operator == "~"
+        assert isinstance(value.operand, SliceExpr)
+        assert value.operand.high == 7 and value.operand.low == 4
+
+    def test_number_literal(self):
+        model = parse_processor(
+            "processor p; module K kind constant out y : 8; behavior y := 0x2A; end module;"
+        )
+        value = model.module("K").behavior[0].value
+        assert isinstance(value, NumberExpr) and value.value == 42
+
+
+class TestStructure:
+    def test_connections_and_slices(self):
+        model = parse_processor(_MINIMAL)
+        assert len(model.connections) == 2
+        first = model.connections[0]
+        assert str(first.source) == "IM.word[3:0]"
+        assert str(first.sink) == "R.d"
+
+    def test_bus_declaration(self):
+        model = parse_processor(
+            "processor p; module IM kind instruction_memory out w : 4; end module;"
+            " structure bus DBUS : 16; connect IM.w -> DBUS; end structure;"
+        )
+        assert model.bus("DBUS").width == 16
+        assert model.bus("other") is None
+
+    def test_malformed_structure_rejected(self):
+        with pytest.raises(HdlParseError):
+            parse_processor("processor p; structure wibble; end structure;")
+
+    def test_missing_semicolon_rejected(self):
+        with pytest.raises(HdlParseError):
+            parse_processor("processor p")

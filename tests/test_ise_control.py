@@ -1,0 +1,197 @@
+"""Unit tests for control-signal analysis."""
+
+import pytest
+
+from repro.hdl import parse_processor
+from repro.hdl.ast import BinaryExpr, IdentExpr, NumberExpr
+from repro.ise import ControlAnalyzer
+from repro.netlist import build_netlist
+
+# A small processor with an instruction decoder, a mode register and a
+# hardwired constant, exercising every control-propagation path.
+_SOURCE = """
+processor ctl;
+
+module IM kind instruction_memory
+  out word : 8;
+end module;
+
+module MODE kind mode_register
+  out m : 1;
+end module;
+
+module ONE kind constant
+  out k : 4;
+behavior
+  k := 5;
+end module;
+
+module R kind register
+  in  d : 8;
+  in  ld : 1;
+  out q : 8;
+behavior
+  q := d when ld == 1;
+end module;
+
+module DEC kind decoder
+  in  opc : 2;
+  out f : 2;
+  out ld : 1;
+behavior
+  f := case opc
+         when 0 => 0;
+         when 1 => 1;
+         when 2 => 3;
+         else => 2;
+       end;
+  ld := case opc
+          when 3 => 0;
+          else => 1;
+        end;
+end module;
+
+module GLUE kind combinational
+  in  a : 1;
+  in  b : 1;
+  out y : 1;
+behavior
+  y := a & b;
+end module;
+
+module ALU kind combinational
+  in  a : 8;
+  in  b : 8;
+  in  f : 2;
+  out y : 8;
+behavior
+  y := case f
+         when 0 => a + b;
+         when 1 => a - b;
+         else => a;
+       end;
+end module;
+
+structure
+  connect IM.word[7:6] -> DEC.opc;
+  connect DEC.f -> ALU.f;
+  connect DEC.ld -> GLUE.a;
+  connect MODE.m -> GLUE.b;
+  connect GLUE.y -> R.ld;
+  connect R.q -> ALU.a;
+  connect IM.word[5:0] -> ALU.b;
+  connect ALU.y -> R.d;
+end structure;
+"""
+
+
+@pytest.fixture()
+def analyzer():
+    netlist = build_netlist(parse_processor(_SOURCE))
+    return ControlAnalyzer(netlist), netlist
+
+
+class TestControlVariables:
+    def test_instruction_and_mode_bits_declared(self, analyzer):
+        control, _ = analyzer
+        names = control.instruction_bit_names()
+        assert "IM.word[0]" in names and "IM.word[7]" in names
+        assert "MODE.m[0]" in names
+        # Instruction bits are declared before mode bits.
+        assert names.index("IM.word[0]") < names.index("MODE.m[0]")
+
+    def test_instruction_memory_vector_is_symbolic(self, analyzer):
+        control, _ = analyzer
+        vector = control.output_vector("IM", "word")
+        assert vector is not None and vector.width == 8
+        assert not vector.is_constant()
+
+    def test_constant_module_vector(self, analyzer):
+        control, _ = analyzer
+        vector = control.output_vector("ONE", "k")
+        assert vector.constant_value() == 5
+
+    def test_register_output_is_not_control(self, analyzer):
+        control, _ = analyzer
+        assert control.output_vector("R", "q") is None
+
+
+class TestDecoderPropagation:
+    def test_decoder_output_depends_on_opcode(self, analyzer):
+        control, _ = analyzer
+        vector = control.output_vector("DEC", "f")
+        assert vector is not None
+        # opc = 2 (word[7:6] = 10) selects arm "when 2 => 3".
+        condition = vector.equals_constant(3)
+        assert condition.evaluate({"IM.word[7]": True, "IM.word[6]": False})
+        assert not condition.evaluate({"IM.word[7]": False, "IM.word[6]": False})
+
+    def test_else_arm_of_decoder(self, analyzer):
+        control, _ = analyzer
+        vector = control.output_vector("DEC", "f")
+        condition = vector.equals_constant(2)
+        assert condition.evaluate({"IM.word[7]": True, "IM.word[6]": True})
+
+    def test_random_logic_between_decoder_and_register(self, analyzer):
+        control, netlist = analyzer
+        register = netlist.module("R")
+        condition = control.condition_true(register, register.behavior[0].condition)
+        assert condition is not None
+        # ld requires opc != 3 AND the mode bit set.
+        assert condition.evaluate(
+            {"IM.word[7]": False, "IM.word[6]": False, "MODE.m[0]": True}
+        )
+        assert not condition.evaluate(
+            {"IM.word[7]": True, "IM.word[6]": True, "MODE.m[0]": True}
+        )
+        assert not condition.evaluate(
+            {"IM.word[7]": False, "IM.word[6]": False, "MODE.m[0]": False}
+        )
+
+    def test_condition_equals_on_alu_function(self, analyzer):
+        control, netlist = analyzer
+        alu = netlist.module("ALU")
+        condition = control.condition_equals(alu, IdentExpr("f"), 1)
+        assert condition is not None
+        assert condition.evaluate({"IM.word[7]": False, "IM.word[6]": True})
+        assert not condition.evaluate({"IM.word[7]": True, "IM.word[6]": True})
+
+
+class TestConditionHelpers:
+    def test_missing_condition_is_true(self, analyzer):
+        control, netlist = analyzer
+        register = netlist.module("R")
+        assert control.condition_true(register, None).is_true()
+
+    def test_data_dependent_expression_is_none(self, analyzer):
+        control, netlist = analyzer
+        alu = netlist.module("ALU")
+        assert control.evaluate_expression(alu, IdentExpr("a")) is None
+        assert control.condition_true(alu, IdentExpr("a")) is None
+
+    def test_literal_condition(self, analyzer):
+        control, netlist = analyzer
+        alu = netlist.module("ALU")
+        assert control.condition_true(alu, NumberExpr(1)).is_true()
+        assert control.condition_true(alu, NumberExpr(0)).is_false()
+
+    def test_comparison_expression(self, analyzer):
+        control, netlist = analyzer
+        alu = netlist.module("ALU")
+        expr = BinaryExpr("==", IdentExpr("f"), NumberExpr(0))
+        condition = control.condition_true(alu, expr)
+        assert condition.evaluate({"IM.word[7]": False, "IM.word[6]": False})
+        assert not condition.evaluate({"IM.word[7]": False, "IM.word[6]": True})
+
+    def test_output_enable_condition(self, analyzer):
+        control, _ = analyzer
+        # Unconditional combinational output: always enabled.
+        assert control.output_enable_condition("GLUE", "y").is_true()
+        # Nonexistent assignments: never enabled.
+        assert control.output_enable_condition("R", "d") is not None
+
+    def test_evaluate_literal_width(self, analyzer):
+        control, netlist = analyzer
+        alu = netlist.module("ALU")
+        vector = control.evaluate_expression(alu, NumberExpr(7))
+        assert vector.constant_value() == 7

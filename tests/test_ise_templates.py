@@ -1,0 +1,125 @@
+"""Unit tests for RT template and pattern helpers."""
+
+from repro.bdd import BDDManager
+from repro.ise import (
+    ConstLeaf,
+    ImmLeaf,
+    OpNode,
+    PortLeaf,
+    RTTemplate,
+    RTTemplateBase,
+    RegLeaf,
+    pattern_operators,
+    pattern_size,
+)
+from repro.ise.templates import (
+    chained_operation_count,
+    pattern_constants,
+    pattern_depth,
+    pattern_leaves,
+    pattern_storages,
+)
+
+
+def _mac_pattern():
+    return OpNode("add", (RegLeaf("ACC"), OpNode("mul", (RegLeaf("T"), RegLeaf("MEM")))))
+
+
+class TestPatternHelpers:
+    def test_pattern_size(self):
+        assert pattern_size(RegLeaf("ACC")) == 1
+        assert pattern_size(_mac_pattern()) == 5
+
+    def test_pattern_depth(self):
+        assert pattern_depth(ConstLeaf(3)) == 1
+        assert pattern_depth(_mac_pattern()) == 3
+
+    def test_pattern_operators(self):
+        assert pattern_operators(_mac_pattern()) == {"add", "mul"}
+        assert pattern_operators(PortLeaf("PIN")) == set()
+
+    def test_pattern_leaves_in_order(self):
+        leaves = pattern_leaves(_mac_pattern())
+        assert [str(leaf) for leaf in leaves] == ["ACC", "T", "MEM"]
+
+    def test_pattern_storages_and_constants(self):
+        pattern = OpNode("add", (RegLeaf("ACC"), ConstLeaf(1)))
+        assert pattern_storages(pattern) == {"ACC"}
+        assert pattern_constants(pattern) == {1}
+
+    def test_chained_operation_count(self):
+        assert chained_operation_count(RegLeaf("ACC")) == 0
+        assert chained_operation_count(OpNode("add", (RegLeaf("A"), RegLeaf("B")))) == 1
+        assert chained_operation_count(_mac_pattern()) == 2
+
+    def test_string_rendering(self):
+        assert str(_mac_pattern()) == "add(ACC, mul(T, MEM))"
+        assert str(ConstLeaf(5)) == "#5"
+        assert str(ImmLeaf("IM.word[7:0]", 8)) == "imm<IM.word[7:0]:8>"
+
+
+class TestRTTemplate:
+    def test_render_and_flags(self):
+        manager = BDDManager()
+        template = RTTemplate("ACC", _mac_pattern(), manager.true)
+        assert template.render() == "ACC := add(ACC, mul(T, MEM))"
+        assert template.is_chained()
+        assert not template.is_data_move()
+
+    def test_data_move_flag(self):
+        manager = BDDManager()
+        move = RTTemplate("ACC", RegLeaf("MEM"), manager.true)
+        assert move.is_data_move()
+        assert not move.is_chained()
+
+    def test_partial_instruction_from_condition(self):
+        manager = BDDManager()
+        bit = manager.variable("IM.word[0]")
+        template = RTTemplate("ACC", RegLeaf("MEM"), bit)
+        assert template.partial_instruction() == {"IM.word[0]": True}
+
+    def test_partial_instruction_of_unsatisfiable_condition(self):
+        manager = BDDManager()
+        template = RTTemplate("ACC", RegLeaf("MEM"), manager.false)
+        assert template.partial_instruction() == {}
+
+    def test_addressing_in_render(self):
+        manager = BDDManager()
+        template = RTTemplate("MEM", RegLeaf("ACC"), manager.true, addressing="direct")
+        assert "[direct]" in template.render()
+
+
+class TestTemplateBase:
+    def _base(self):
+        manager = BDDManager()
+        base = RTTemplateBase(processor="p")
+        base.add(RTTemplate("ACC", _mac_pattern(), manager.true))
+        base.add(RTTemplate("ACC", RegLeaf("MEM"), manager.true))
+        base.add(RTTemplate("MEM", RegLeaf("ACC"), manager.true))
+        base.add(RTTemplate("ACC", OpNode("add", (RegLeaf("ACC"), ConstLeaf(1))), manager.true))
+        return base
+
+    def test_len_and_iter(self):
+        base = self._base()
+        assert len(base) == 4
+        assert len(list(base)) == 4
+
+    def test_destinations_and_operators(self):
+        base = self._base()
+        assert base.destinations() == {"ACC", "MEM"}
+        assert base.operators() == {"add", "mul"}
+        assert base.constants() == {1}
+
+    def test_chained_and_grouping(self):
+        base = self._base()
+        assert len(base.chained_templates()) == 1
+        grouped = base.by_destination()
+        assert len(grouped["ACC"]) == 3
+        assert len(grouped["MEM"]) == 1
+
+    def test_stats(self):
+        stats = self._base().stats()
+        assert stats["templates"] == 4
+        assert stats["chained"] == 1
+        assert stats["data_moves"] == 2
+        assert stats["destinations"] == 2

@@ -1,0 +1,229 @@
+"""Unit tests for netlist construction and semantic checks."""
+
+import pytest
+
+from repro.hdl import HdlSemanticError, ModuleKind, parse_processor
+from repro.netlist import (
+    BusEndpoint,
+    PortEndpoint,
+    PrimaryEndpoint,
+    build_netlist,
+)
+
+_GOOD = """
+processor good;
+
+port PIN : in 8;
+port POUT : out 8;
+
+module IM kind instruction_memory
+  out word : 8;
+end module;
+
+module R kind register
+  in  d : 8;
+  in  ld : 1;
+  out q : 8;
+behavior
+  q := d when ld == 1;
+end module;
+
+module ADDER kind combinational
+  in a : 8;
+  in b : 8;
+  out y : 8;
+behavior
+  y := a + b;
+end module;
+
+structure
+  bus DBUS : 8;
+  connect IM.word[3:0] -> ADDER.a;
+  connect R.q -> ADDER.b;
+  connect ADDER.y -> DBUS;
+  connect DBUS -> R.d;
+  connect IM.word[4:4] -> R.ld;
+  connect PIN -> POUT;
+end structure;
+"""
+
+
+def _build(source):
+    return build_netlist(parse_processor(source))
+
+
+class TestConstruction:
+    def test_modules_and_ports(self):
+        netlist = _build(_GOOD)
+        assert set(netlist.modules) == {"IM", "R", "ADDER"}
+        assert netlist.port("R", "q").width == 8
+        assert netlist.module("R").kind == ModuleKind.REGISTER
+
+    def test_input_drivers(self):
+        netlist = _build(_GOOD)
+        driver = netlist.driver_of_input("ADDER", "a")
+        assert isinstance(driver, PortEndpoint)
+        assert driver.module == "IM" and driver.high == 3
+
+    def test_bus_drivers_and_sinks(self):
+        netlist = _build(_GOOD)
+        drivers = netlist.drivers_of_bus("DBUS")
+        assert len(drivers) == 1 and drivers[0].module == "ADDER"
+        sink_driver = netlist.driver_of_input("R", "d")
+        assert isinstance(sink_driver, BusEndpoint) and sink_driver.bus == "DBUS"
+
+    def test_primary_output_driver(self):
+        netlist = _build(_GOOD)
+        driver = netlist.driver_of_primary_output("POUT")
+        assert isinstance(driver, PrimaryEndpoint) and driver.port == "PIN"
+
+    def test_unconnected_input_has_no_driver(self):
+        source = _GOOD.replace("connect IM.word[4:4] -> R.ld;", "")
+        netlist = _build(source)
+        assert netlist.driver_of_input("R", "ld") is None
+
+    def test_stats_and_views(self):
+        netlist = _build(_GOOD)
+        stats = netlist.stats()
+        assert stats["modules"] == 3
+        assert stats["sequential"] == 1
+        assert stats["buses"] == 1
+        assert [m.name for m in netlist.sequential_modules()] == ["R"]
+        assert [m.name for m in netlist.control_source_modules()] == ["IM"]
+        assert [m.name for m in netlist.combinational_modules()] == ["ADDER"]
+        assert netlist.rt_destinations() == ["R", "POUT"]
+
+
+class TestSemanticErrors:
+    def test_missing_instruction_memory(self):
+        with pytest.raises(HdlSemanticError):
+            _build("processor p; module R kind register in d : 4; out q : 4; end module;")
+
+    def test_duplicate_module_name(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module IM kind register in d : 4; out q : 4; end module;"
+            )
+
+    def test_duplicate_port_name(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module A in x : 4; in x : 4; out y : 4; end module;"
+            )
+
+    def test_unknown_connection_module(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " structure connect NOPE.y -> IM.w; end structure;"
+            )
+
+    def test_source_must_be_output(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module A in x : 4; out y : 4; behavior y := x; end module;"
+                " structure connect A.x -> A.x; end structure;"
+            )
+
+    def test_sink_must_be_input(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module A in x : 4; out y : 4; behavior y := x; end module;"
+                " structure connect IM.w -> A.y; end structure;"
+            )
+
+    def test_multiple_drivers_rejected_without_bus(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module A in x : 4; out y : 4; behavior y := x; end module;"
+                " structure connect IM.w -> A.x; connect IM.w -> A.x; end structure;"
+            )
+
+    def test_assignment_to_unknown_port(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module A in x : 4; out y : 4; behavior z := x; end module;"
+            )
+
+    def test_assignment_to_input_port(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module A in x : 4; out y : 4; behavior x := y; end module;"
+            )
+
+    def test_reference_to_unknown_port(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module A in x : 4; out y : 4; behavior y := nothere; end module;"
+            )
+
+    def test_mem_write_outside_memory_module(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module A in x : 4; out y : 4; behavior mem[x] := x; end module;"
+            )
+
+    def test_mem_read_outside_memory_module(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module A in x : 4; out y : 4; behavior y := mem[x]; end module;"
+            )
+
+    def test_constant_module_must_assign_literals(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module K kind constant in x : 4; out y : 4; behavior y := x; end module;"
+            )
+
+    def test_register_needs_output_port(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module R kind register in d : 4; end module;"
+            )
+
+    def test_duplicate_primary_port(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; port X : in 4; port X : out 4;"
+                " module IM kind instruction_memory out w : 4; end module;"
+            )
+
+    def test_bus_slice_rejected(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " module A in x : 4; out y : 4; behavior y := x; end module;"
+                " structure bus B : 4; connect IM.w -> B;"
+                " connect B[3:0] -> A.x; end structure;"
+            )
+
+    def test_unknown_endpoint_name(self):
+        with pytest.raises(HdlSemanticError):
+            _build(
+                "processor p; module IM kind instruction_memory out w : 4; end module;"
+                " structure connect IM.w -> NOWHERE; end structure;"
+            )
+
+
+class TestQueryErrors:
+    def test_unknown_module_lookup(self):
+        netlist = _build(_GOOD)
+        with pytest.raises(HdlSemanticError):
+            netlist.module("missing")
+
+    def test_unknown_port_lookup(self):
+        netlist = _build(_GOOD)
+        with pytest.raises(HdlSemanticError):
+            netlist.port("R", "missing")

@@ -1,0 +1,49 @@
+"""Unit tests for the generated (emitted) matcher module."""
+
+import pytest
+
+from repro.selector import CodeSelector, SubjectNode, compile_matcher_module, emit_matcher_source
+
+
+class TestEmittedMatcher:
+    def test_source_is_valid_python(self, demo_result):
+        source = emit_matcher_source(demo_result.grammar)
+        compile(source, "<test>", "exec")
+        assert "RULES" in source
+        assert "def label(" in source
+
+    def test_module_metadata(self, demo_result):
+        module = compile_matcher_module(demo_result.grammar)
+        assert module.PROCESSOR == "demo"
+        assert module.START == demo_result.grammar.start
+        assert len(module.RULES) == len(demo_result.grammar.rules)
+        assert set(module.TERMINALS) == demo_result.grammar.terminals
+        assert set(module.NONTERMINALS) == demo_result.grammar.nonterminals
+
+    def test_generated_matcher_agrees_with_library_selector(self, demo_result):
+        module = compile_matcher_module(demo_result.grammar)
+        selector = CodeSelector(demo_result.grammar)
+        # d := ACC + DMEM, with the destination in memory
+        root = SubjectNode(
+            "ASSIGN",
+            [
+                SubjectNode("DMEM"),
+                SubjectNode("add", [SubjectNode("ACC"), SubjectNode("DMEM")]),
+            ],
+        )
+        expected = selector.select(root)
+        assert module.cover_cost(root) == expected.cost
+        indices = module.reduce(root)
+        assert indices == expected.rule_indices()
+
+    def test_generated_matcher_reports_unmatchable_trees(self, demo_result):
+        module = compile_matcher_module(demo_result.grammar)
+        bad = SubjectNode("nonsense")
+        assert module.cover_cost(bad) is None
+        with pytest.raises(ValueError):
+            module.reduce(bad)
+
+    def test_matcher_module_is_retarget_output(self, demo_result):
+        # retarget() stores the generated matcher so that users can inspect it
+        assert demo_result.matcher_module is not None
+        assert demo_result.matcher_module.PROCESSOR == "demo"

@@ -1,0 +1,112 @@
+"""Unit tests for the RT-level simulator."""
+
+import random
+
+import pytest
+
+from repro.record.compiler import RecordCompiler
+from repro.sim import RTSimulator, SimulationError, simulate_statement_code
+from repro.sim.rtsim import reference_execution
+from repro.codegen.selection import RTInstance
+from repro.dspstone import kernel_program
+from repro.frontend import lower_to_program
+
+
+def _environment(block, seed=0):
+    rng = random.Random(seed)
+    return {name: rng.randint(-200, 200) for name in sorted(block.variables())}
+
+
+def _agrees(reference, simulated):
+    mask = 0xFFFF
+    return all((reference[k] & mask) == (simulated.get(k, 0) & mask) for k in reference)
+
+
+class TestSimulatorBasics:
+    def test_simple_statement(self, tms_compiler):
+        compiled = tms_compiler.compile_source("int a, b, d; d = a + b;")
+        env = {"a": 3, "b": 4}
+        result = simulate_statement_code(compiled.statement_codes, env)
+        assert result["d"] == 7
+
+    def test_chained_mac_semantics(self, tms_compiler):
+        compiled = tms_compiler.compile_source("int a, b, c, d; d = c + a * b;")
+        result = simulate_statement_code(compiled.statement_codes, {"a": 2, "b": 5, "c": 1})
+        assert result["d"] == 11
+
+    def test_negative_values_wrap_to_word_width(self, tms_compiler):
+        compiled = tms_compiler.compile_source("int a, b, d; d = a - b;")
+        result = simulate_statement_code(compiled.statement_codes, {"a": 1, "b": 2})
+        assert result["d"] == 0xFFFF
+
+    def test_sequence_of_statements(self, tms_compiler):
+        compiled = tms_compiler.compile_source("int a, b, c; b = a + a; c = b * a;")
+        result = simulate_statement_code(compiled.statement_codes, {"a": 3})
+        assert result["b"] == 6
+        assert result["c"] == 18
+
+    def test_spill_instances_are_value_neutral(self):
+        simulator = RTSimulator({"x": 1})
+        spill = RTInstance(kind="spill_store", result_id="tmp:0", result_storage="DMEM")
+        simulator._execute_instance(spill)
+        assert simulator.environment == {"x": 1}
+
+    def test_missing_node_raises(self):
+        simulator = RTSimulator()
+        broken = RTInstance(kind="rt", result_id="tmp:0", result_storage="ACC")
+        with pytest.raises(SimulationError):
+            simulator._execute_instance(broken)
+
+    def test_undefined_value_raises(self):
+        simulator = RTSimulator()
+        with pytest.raises(SimulationError):
+            simulator._lookup_value("tmp:99")
+
+    def test_reference_execution_helper(self):
+        program = lower_to_program("int a, b; b = a * 3;")
+        env = reference_execution(program.single_block(), {"a": 4})
+        assert env["b"] == 12
+
+
+class TestKernelEquivalence:
+    """Generated code must compute exactly what the source program computes."""
+
+    @pytest.mark.parametrize(
+        "kernel",
+        [
+            "real_update",
+            "complex_multiply",
+            "complex_update",
+            "n_real_updates",
+            "n_complex_updates",
+            "fir",
+            "biquad_one",
+            "biquad_n",
+            "dot_product",
+            "convolution",
+        ],
+    )
+    def test_kernel_on_tms320c25(self, tms_compiler, kernel):
+        program = kernel_program(kernel)
+        compiled = tms_compiler.compile_program(program)
+        block = program.single_block()
+        env = _environment(block, seed=hash(kernel) & 0xFFFF)
+        assert _agrees(block.execute(env), simulate_statement_code(compiled.statement_codes, env))
+
+    @pytest.mark.parametrize("kernel", ["real_update", "dot_product", "biquad_one"])
+    def test_kernel_on_demo_machine(self, demo_compiler, kernel):
+        program = kernel_program(kernel)
+        compiled = demo_compiler.compile_program(program)
+        block = program.single_block()
+        env = _environment(block, seed=1)
+        assert _agrees(block.execute(env), simulate_statement_code(compiled.statement_codes, env))
+
+    def test_baseline_code_is_also_correct(self, tms_result):
+        from repro.baselines import conventional_compiler
+
+        baseline = conventional_compiler(tms_result)
+        program = kernel_program("fir")
+        compiled = baseline.compile_program(program)
+        block = program.single_block()
+        env = _environment(block, seed=7)
+        assert _agrees(block.execute(env), simulate_statement_code(compiled.statement_codes, env))
