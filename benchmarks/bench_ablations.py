@@ -3,8 +3,13 @@
 Three mechanisms give RECORD its code quality on DSP kernels (sections 3
 and 4): chained-operation templates discovered by instruction-set
 extraction, the commutativity/rewrite extension of the template base, and
-post-selection code compaction.  Each ablation disables one mechanism and
+post-selection code compaction.  Each ablation disables one mechanism --
+expressed as a :class:`repro.toolchain.PipelineConfig` preset -- and
 measures the code-size impact on MAC-heavy DSPStone kernels.
+
+Because restricted selectors are memoized per retargeting result, the
+sessions below share grammar construction across rounds instead of paying
+it once per compiler instance.
 """
 
 from __future__ import annotations
@@ -13,33 +18,33 @@ import pytest
 
 from repro.dspstone import kernel_program
 from repro.expansion import ExpansionOptions
-from repro.record.compiler import CompilerOptions, RecordCompiler
 from repro.record.retarget import retarget
 from repro.targets.library import target_hdl_source
+from repro.toolchain import PipelineConfig, Session
 
 _KERNELS = ["real_update", "fir", "biquad_one", "dot_product"]
 
 
-def _total_code_size(compiler, kernels=_KERNELS):
-    return sum(compiler.compile_program(kernel_program(name)).code_size for name in kernels)
+def _total_code_size(session, kernels=_KERNELS):
+    return sum(session.compile_program(kernel_program(name)).code_size for name in kernels)
 
 
-@pytest.mark.parametrize("allow_chained", [True, False], ids=["chained", "no-chained"])
-def test_ablation_chained_templates(benchmark, tms_result, allow_chained):
+@pytest.mark.parametrize("preset", ["full", "no-chained"])
+def test_ablation_chained_templates(benchmark, tms_result, preset):
     """Chained multiply-accumulate templates on/off."""
-    compiler = RecordCompiler(tms_result, CompilerOptions(allow_chained=allow_chained))
-    total = benchmark.pedantic(_total_code_size, args=(compiler,), rounds=3, iterations=1)
-    benchmark.extra_info["allow_chained"] = allow_chained
+    session = Session(tms_result, config=PipelineConfig.preset(preset))
+    total = benchmark.pedantic(_total_code_size, args=(session,), rounds=3, iterations=1)
+    benchmark.extra_info["preset"] = preset
     benchmark.extra_info["total_code_size_words"] = total
     assert total > 0
 
 
-@pytest.mark.parametrize("use_compaction", [True, False], ids=["compaction", "no-compaction"])
-def test_ablation_compaction(benchmark, tms_result, use_compaction):
+@pytest.mark.parametrize("preset", ["full", "no-compaction"])
+def test_ablation_compaction(benchmark, tms_result, preset):
     """Code compaction on/off."""
-    compiler = RecordCompiler(tms_result, CompilerOptions(use_compaction=use_compaction))
-    total = benchmark.pedantic(_total_code_size, args=(compiler,), rounds=3, iterations=1)
-    benchmark.extra_info["use_compaction"] = use_compaction
+    session = Session(tms_result, config=PipelineConfig.preset(preset))
+    total = benchmark.pedantic(_total_code_size, args=(session,), rounds=3, iterations=1)
+    benchmark.extra_info["preset"] = preset
     benchmark.extra_info["total_code_size_words"] = total
     assert total > 0
 
@@ -60,8 +65,8 @@ def test_ablation_template_expansion(benchmark, use_expansion):
         result = retarget(
             target_hdl_source("tms320c25"), expansion=options, generate_matcher=False
         )
-        compiler = RecordCompiler(result)
-        return result.template_count, _total_code_size(compiler)
+        session = Session(result)
+        return result.template_count, _total_code_size(session)
 
     templates, total = benchmark.pedantic(run, rounds=2, iterations=1)
     benchmark.extra_info["use_expansion"] = use_expansion
@@ -73,12 +78,12 @@ def test_ablation_template_expansion(benchmark, use_expansion):
 def test_ablation_chaining_increases_code_size(tms_result):
     """Sanity check on the ablation direction: removing chained templates
     must not decrease code size, and on MAC-heavy kernels it increases it."""
-    full = RecordCompiler(tms_result, CompilerOptions(allow_chained=True))
-    restricted = RecordCompiler(tms_result, CompilerOptions(allow_chained=False))
+    full = Session(tms_result, config=PipelineConfig.preset("full"))
+    restricted = Session(tms_result, config=PipelineConfig.preset("no-chained"))
     assert _total_code_size(restricted) > _total_code_size(full)
 
 
 def test_ablation_compaction_never_hurts(tms_result):
-    compacted = RecordCompiler(tms_result, CompilerOptions(use_compaction=True))
-    uncompacted = RecordCompiler(tms_result, CompilerOptions(use_compaction=False))
+    compacted = Session(tms_result, config=PipelineConfig.preset("full"))
+    uncompacted = Session(tms_result, config=PipelineConfig.preset("no-compaction"))
     assert _total_code_size(compacted) <= _total_code_size(uncompacted)

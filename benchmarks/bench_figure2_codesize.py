@@ -20,21 +20,21 @@ from __future__ import annotations
 
 import pytest
 
-from repro.baselines import conventional_compiler, hand_reference_size
+from repro.baselines import hand_reference_size
 from repro.dspstone import all_kernel_names, kernel_program
-from repro.record.compiler import RecordCompiler
+from repro.toolchain import PipelineConfig
 
 
-def _compile_size(compiler, kernel_name):
+def _compile_size(session, kernel_name):
     program = kernel_program(kernel_name)
-    return compiler.compile_program(program).code_size
+    return session.compile_program(program).code_size
 
 
 @pytest.mark.parametrize("kernel", all_kernel_names())
-def test_figure2_record_code_size(benchmark, record_compiler, kernel):
+def test_figure2_record_code_size(benchmark, record_session, kernel):
     """RECORD (right bars of figure 2)."""
     size = benchmark.pedantic(
-        _compile_size, args=(record_compiler, kernel), rounds=3, iterations=1
+        _compile_size, args=(record_session, kernel), rounds=3, iterations=1
     )
     hand = hand_reference_size(kernel)
     benchmark.extra_info["kernel"] = kernel
@@ -46,10 +46,10 @@ def test_figure2_record_code_size(benchmark, record_compiler, kernel):
 
 
 @pytest.mark.parametrize("kernel", all_kernel_names())
-def test_figure2_baseline_code_size(benchmark, baseline_compiler, kernel):
+def test_figure2_baseline_code_size(benchmark, baseline_session, kernel):
     """Conventional compiler stand-in for the TI C compiler (left bars)."""
     size = benchmark.pedantic(
-        _compile_size, args=(baseline_compiler, kernel), rounds=3, iterations=1
+        _compile_size, args=(baseline_session, kernel), rounds=3, iterations=1
     )
     hand = hand_reference_size(kernel)
     benchmark.extra_info["kernel"] = kernel
@@ -60,12 +60,12 @@ def test_figure2_baseline_code_size(benchmark, baseline_compiler, kernel):
     assert size > 0
 
 
-def test_figure2_shape_record_never_worse_than_baseline(record_compiler, baseline_compiler):
+def test_figure2_shape_record_never_worse_than_baseline(record_session, baseline_session):
     """The qualitative claim of figure 2: RECORD outperforms the
     conventional compiler on every kernel and stays close to hand code."""
     for kernel in all_kernel_names():
-        record_size = _compile_size(record_compiler, kernel)
-        baseline_size = _compile_size(baseline_compiler, kernel)
+        record_size = _compile_size(record_session, kernel)
+        baseline_size = _compile_size(baseline_session, kernel)
         hand = hand_reference_size(kernel)
         assert record_size <= baseline_size
         assert record_size <= 1.5 * hand
@@ -73,12 +73,10 @@ def test_figure2_shape_record_never_worse_than_baseline(record_compiler, baselin
 
 def main():
     """Print figure 2 as a table and an ASCII bar chart."""
-    from repro.record.retarget import retarget
-    from repro.targets.library import target_hdl_source
+    from repro.toolchain import Toolchain
 
-    result = retarget(target_hdl_source("tms320c25"))
-    record = RecordCompiler(result)
-    baseline = conventional_compiler(result)
+    record = Toolchain.for_target("tms320c25")
+    baseline = record.reconfigured(PipelineConfig.preset("conventional"))
 
     header = "%-18s %6s %9s %9s %12s %12s" % (
         "kernel", "hand", "baseline", "record", "baseline %", "record %"

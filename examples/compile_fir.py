@@ -13,12 +13,10 @@ Run with::
     python examples/compile_fir.py
 """
 
-from repro.baselines import conventional_compiler, hand_reference_size
+from repro.baselines import hand_reference_size
 from repro.dspstone import get_kernel
-from repro.record.compiler import RecordCompiler
-from repro.record.retarget import retarget
 from repro.sim import simulate_statement_code
-from repro.targets import target_hdl_source
+from repro.toolchain import PipelineConfig, Toolchain
 
 
 def main():
@@ -27,12 +25,13 @@ def main():
     print(kernel.source.strip())
     print()
 
-    result = retarget(target_hdl_source("tms320c25"))
-    record = RecordCompiler(result)
-    baseline = conventional_compiler(result)
+    # One retargeting, two pipelines: the full RECORD flow and the
+    # conventional-compiler preset share the session's retarget result.
+    record = Toolchain.for_target("tms320c25")
+    baseline = record.reconfigured(PipelineConfig.preset("conventional"))
 
-    record_code = record.compile_source(kernel.source, name="fir")
-    baseline_code = baseline.compile_source(kernel.source, name="fir")
+    record_code = record.compile(kernel.source, name="fir")
+    baseline_code = baseline.compile(kernel.source, name="fir")
     hand = hand_reference_size("fir")
 
     print("== RECORD code (%d words) ==" % record_code.code_size)

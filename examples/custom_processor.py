@@ -16,10 +16,9 @@ Run with::
 from repro.expansion import ExpansionOptions, RewriteRule, default_transformation_library
 from repro.expansion.rewrite import Slot
 from repro.ise import ConstLeaf, OpNode
-from repro.record.compiler import RecordCompiler
 from repro.record.report import retargeting_report
-from repro.record.retarget import retarget
 from repro.sim import simulate_statement_code
+from repro.toolchain import Toolchain, default_registry
 
 CUSTOM_HDL = """
 processor quirk;
@@ -119,7 +118,15 @@ def main():
         rules=default_transformation_library() + [add_via_double_sub]
     )
 
-    result = retarget(CUSTOM_HDL, expansion=expansion)
+    # Register the new ASIP next to the built-ins and retarget it through
+    # the toolchain -- the registry makes user models first-class targets.
+    default_registry().register_hdl(
+        "quirk", CUSTOM_HDL,
+        description="accumulator ASIP with a subtract-only ALU",
+        category="custom", replace=True,
+    )
+    session = Toolchain.for_target("quirk", expansion=expansion)
+    result = session.retarget_result
     print(retargeting_report(result))
 
     print("Extracted instruction set of the custom ASIP:")
@@ -127,8 +134,7 @@ def main():
         print("  " + template.render())
     print()
 
-    compiler = RecordCompiler(result)
-    compiled = compiler.compile_source(PROGRAM, name="custom")
+    compiled = session.compile(PROGRAM, name="custom")
     print("Generated code (%d instruction words):" % compiled.code_size)
     print(compiled.listing())
 

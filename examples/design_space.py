@@ -15,9 +15,8 @@ Run with::
 
 from repro.codegen.selection import CodeGenerationError
 from repro.dspstone import get_kernel
-from repro.record.compiler import RecordCompiler
-from repro.record.retarget import retarget
-from repro.targets import all_target_names, get_target, target_hdl_source
+from repro.targets import all_target_names, get_target
+from repro.toolchain import Toolchain
 
 KERNELS = ["real_update", "dot_product"]
 
@@ -39,10 +38,12 @@ def main():
     header = "%-12s %-22s %12s %16s" % ("target", "category", "RT templates", "retarget time [s]")
     print(header)
     print("-" * len(header))
-    results = {}
+    toolchain = Toolchain()  # one registry + retarget cache for all sessions
+    sessions = {}
     for name in all_target_names():
-        result = retarget(target_hdl_source(name))
-        results[name] = result
+        session = toolchain.session(name)
+        sessions[name] = session
+        result = session.retarget_result
         print(
             "%-12s %-22s %12d %16.3f"
             % (name, get_target(name).category, result.template_count, result.timings.total)
@@ -52,10 +53,9 @@ def main():
         kernel = get_kernel(kernel_name)
         print("\ncode size for kernel %r (%s):" % (kernel_name, kernel.description))
         for name in all_target_names():
-            compiler = RecordCompiler(results[name])
             overrides = BINDING_OVERRIDES.get(name, {}).get(kernel_name)
             try:
-                compiled = compiler.compile_source(
+                compiled = sessions[name].compile(
                     kernel.source, name=kernel_name, binding_overrides=overrides
                 )
                 size = "%d instruction words, %d RT operations" % (

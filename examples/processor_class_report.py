@@ -14,14 +14,16 @@ Run with::
 """
 
 from repro.record.report import processor_class_report
-from repro.record.retarget import retarget
-from repro.targets import all_target_names, target_hdl_source
+from repro.targets import all_target_names
+from repro.toolchain import Toolchain
 
 
 def main():
+    toolchain = Toolchain()
     reports = {}
     for name in all_target_names():
-        reports[name] = processor_class_report(retarget(target_hdl_source(name)))
+        result = toolchain.session(name, generate_matcher=False).retarget_result
+        reports[name] = processor_class_report(result)
 
     parameters = list(next(iter(reports.values())).keys())
     width = max(len(p) for p in parameters) + 2

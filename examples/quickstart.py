@@ -18,10 +18,10 @@ from repro.grammar import build_tree_grammar, grammar_to_bnf
 from repro.hdl import parse_processor
 from repro.ise import extract_instruction_set
 from repro.netlist import build_netlist
-from repro.record.compiler import RecordCompiler
 from repro.record.retarget import retarget
 from repro.sim import simulate_statement_code
 from repro.targets import target_hdl_source
+from repro.toolchain import Session
 
 SOURCE_PROGRAM = """
 int a, b, c, d;
@@ -65,8 +65,11 @@ def main():
         print("  %-18s %.4f s" % (phase, seconds))
 
     # -- step 5: compile and simulate a small program -------------------------
-    compiler = RecordCompiler(result)
-    compiled = compiler.compile_source(SOURCE_PROGRAM, name="quickstart")
+    # (a Session wraps the retargeting result in the configured pass
+    # pipeline; Toolchain.for_target("demo") is the one-line equivalent
+    # of steps 1-5)
+    session = Session(result)
+    compiled = session.compile(SOURCE_PROGRAM, name="quickstart")
     print("\n== generated code (%d instruction words) ==" % compiled.code_size)
     print(compiled.listing())
 

@@ -11,12 +11,11 @@ Run with::
 """
 
 from repro.record.report import format_processor_class_report, retargeting_report
-from repro.record.retarget import retarget
-from repro.targets import target_hdl_source
+from repro.toolchain import Toolchain
 
 
 def main():
-    result = retarget(target_hdl_source("tms320c25"))
+    result = Toolchain.for_target("tms320c25").retarget_result
 
     print(retargeting_report(result))
     print(format_processor_class_report(result))

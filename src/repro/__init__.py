@@ -1,7 +1,36 @@
 """repro -- a reproduction of "Retargetable Generation of Code Selectors
 from HDL Processor Models" (Leupers & Marwedel, DATE 1997).
 
-The package implements the complete RECORD retargeting flow in pure Python:
+The package implements the complete RECORD retargeting flow in pure
+Python, wrapped in a session/pipeline API (:mod:`repro.toolchain`):
+
+* :class:`Toolchain` / :class:`Session` -- the canonical entry point.
+  ``Toolchain.for_target(name)`` resolves the target in the
+  :class:`TargetRegistry`, retargets through the content-hash
+  :class:`RetargetCache`, and returns a session that amortizes selector
+  construction across ``compile`` / ``compile_many`` calls;
+* :class:`PipelineConfig` / :class:`repro.toolchain.PassManager` -- the
+  backend phases (selection, scheduling, spill insertion, compaction,
+  encoding) as named passes, with the paper's ablations as presets
+  (``PipelineConfig.preset("no-chained")``, ``"conventional"``, ...);
+* the :class:`ReproError` hierarchy -- structured, source-located errors
+  raised by the HDL frontend, the source frontend and the backend.
+
+Typical usage::
+
+    from repro import PipelineConfig, Toolchain
+
+    session = Toolchain.for_target("tms320c25")
+    compiled = session.compile("int a, b, c, d; d = c + a * b;")
+    print(compiled.code_size)
+    print(compiled.listing())
+
+    batch = session.compile_many([src1, src2, src3])
+    baseline = session.reconfigured(PipelineConfig.preset("conventional"))
+    print(baseline.compile(src1).code_size)  # the figure-2 baseline
+
+Underneath the facade sit the phase implementations, usable directly for
+experiments:
 
 * :mod:`repro.hdl` / :mod:`repro.netlist` -- MIMOLA-inspired HDL frontend
   and the internal graph model;
@@ -11,43 +40,53 @@ The package implements the complete RECORD retargeting flow in pure Python:
   template-base extension, tree-grammar construction and BURS tree parsing
   (the iburg-equivalent code selector);
 * :mod:`repro.frontend` / :mod:`repro.ir` / :mod:`repro.codegen` -- source
-  language, IR and the code-generation backend (selection, scheduling,
-  spilling, compaction);
-* :mod:`repro.record` -- the retargeting driver and the retargetable
-  compiler;
+  language, IR and the code-generation backend;
+* :mod:`repro.record` -- the retargeting driver plus the legacy
+  ``retarget()`` / ``RecordCompiler`` API (now thin shims over
+  :mod:`repro.toolchain`; see ``docs/API.md`` for migration notes);
 * :mod:`repro.targets`, :mod:`repro.dspstone`, :mod:`repro.baselines`,
   :mod:`repro.sim` -- the six built-in processor models, the DSPStone
   kernels, the experiment baselines and the RT-level simulator.
-
-Typical usage::
-
-    from repro import retarget, RecordCompiler, target_hdl_source
-
-    result = retarget(target_hdl_source("tms320c25"))
-    compiler = RecordCompiler(result)
-    compiled = compiler.compile_source("int a, b, c, d; d = c + a * b;")
-    print(compiled.code_size)
-    print(compiled.listing())
 """
 
+from repro.diagnostics import ReproError, SourceLocation, TargetError
 from repro.record.compiler import CompiledProgram, CompilerOptions, RecordCompiler
 from repro.record.retarget import RetargetResult, retarget
 from repro.targets.library import all_target_names, get_target, target_hdl_source
 from repro.dspstone.kernels import all_kernel_names, get_kernel, kernel_program
+from repro.toolchain import (
+    PipelineConfig,
+    RetargetCache,
+    Session,
+    TargetRegistry,
+    Toolchain,
+    default_registry,
+    register_target,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CompiledProgram",
     "CompilerOptions",
+    "PipelineConfig",
     "RecordCompiler",
+    "ReproError",
+    "RetargetCache",
     "RetargetResult",
+    "Session",
+    "SourceLocation",
+    "TargetError",
+    "TargetRegistry",
+    "Toolchain",
     "__version__",
     "all_kernel_names",
     "all_target_names",
+    "default_registry",
     "get_kernel",
     "get_target",
     "kernel_program",
+    "register_target",
     "retarget",
     "target_hdl_source",
 ]

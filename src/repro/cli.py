@@ -2,18 +2,25 @@
 
 Usage (also available as ``python -m repro ...``)::
 
-    python -m repro targets                      # list built-in processors
+    python -m repro targets                      # list registered processors
     python -m repro kernels                      # list DSPStone kernels
     python -m repro retarget tms320c25           # retargeting report
     python -m repro retarget tms320c25 --templates --bnf
     python -m repro retarget my_asip.hdl         # retarget a user HDL file
     python -m repro compile tms320c25 prog.c     # compile a source file
     python -m repro compile tms320c25 --kernel fir --baseline --binary
+    python -m repro compile tms320c25 --kernel fir --preset no-chained
+    python -m repro cache                        # retarget-cache statistics
+    python -m repro cache --clear
     python -m repro table3                       # print table 3
     python -m repro figure2                      # print figure 2
 
-The CLI is a thin layer over the library API; everything it prints can also
-be obtained programmatically (see README.md).
+The CLI is a thin layer over :mod:`repro.toolchain`: targets are resolved
+through the :class:`~repro.toolchain.TargetRegistry` (built-in names and
+HDL file paths alike), retargeting goes through the on-disk
+:class:`~repro.toolchain.RetargetCache` (disable with ``--no-cache``,
+relocate with ``--cache-dir`` or ``$REPRO_CACHE_DIR``), and compilation
+runs the configured pass pipeline (``--preset`` selects an ablation).
 """
 
 from __future__ import annotations
@@ -23,31 +30,35 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.baselines import conventional_compiler, hand_reference_size
-from repro.codegen.encoding import InstructionEncoder
+from repro.baselines import hand_reference_size
+from repro.diagnostics import ReproError, error_report
 from repro.dspstone import all_kernel_names, get_kernel
 from repro.grammar import grammar_to_bnf
-from repro.record.compiler import RecordCompiler
 from repro.record.report import format_processor_class_report, retargeting_report
-from repro.record.retarget import RetargetResult, retarget
-from repro.targets import all_target_names, get_target, target_hdl_source
+from repro.toolchain import (
+    PRESETS,
+    PipelineConfig,
+    RetargetCache,
+    Session,
+    Toolchain,
+    default_registry,
+)
 
 
-def _load_hdl(target: str) -> str:
-    """HDL source of a built-in target name or of an HDL file path."""
-    if target in all_target_names():
-        return target_hdl_source(target)
-    if os.path.exists(target):
-        with open(target, "r") as handle:
-            return handle.read()
-    raise SystemExit(
-        "error: %r is neither a built-in target (%s) nor an HDL file"
-        % (target, ", ".join(all_target_names()))
-    )
+def _cache_from_args(args) -> Optional[RetargetCache]:
+    """The retarget cache selected by the CLI flags (None = disabled)."""
+    if getattr(args, "no_cache", False):
+        return RetargetCache(directory=False)
+    return RetargetCache(directory=getattr(args, "cache_dir", None) or None)
 
 
-def _retarget(target: str) -> RetargetResult:
-    return retarget(_load_hdl(target))
+def _session(args, config: Optional[PipelineConfig] = None) -> Session:
+    """Resolve ``args.target`` (name or HDL path) into a session."""
+    toolchain = Toolchain(cache=_cache_from_args(args))
+    try:
+        return toolchain.session(args.target, config=config)
+    except ReproError as error:
+        raise SystemExit("error: %s" % error_report(error))
 
 
 # ---------------------------------------------------------------------------
@@ -56,8 +67,9 @@ def _retarget(target: str) -> RetargetResult:
 
 
 def _cmd_targets(_args) -> int:
-    for name in all_target_names():
-        spec = get_target(name)
+    registry = default_registry()
+    for name in registry:
+        spec = registry.get(name)
         print("%-12s %-20s %s" % (name, spec.category, spec.description))
     return 0
 
@@ -71,7 +83,7 @@ def _cmd_kernels(_args) -> int:
 
 
 def _cmd_retarget(args) -> int:
-    result = _retarget(args.target)
+    result = _session(args).retarget_result
     print(retargeting_report(result))
     if args.features:
         print(format_processor_class_report(result))
@@ -86,10 +98,17 @@ def _cmd_retarget(args) -> int:
 
 
 def _cmd_compile(args) -> int:
-    result = _retarget(args.target)
-    compiler = (
-        conventional_compiler(result) if args.baseline else RecordCompiler(result)
-    )
+    if args.baseline and args.preset:
+        raise SystemExit("error: --baseline and --preset are mutually exclusive")
+    if args.baseline:
+        config = PipelineConfig.preset("conventional")
+    elif args.preset:
+        config = PipelineConfig.preset(args.preset)
+    else:
+        config = PipelineConfig()
+    if args.binary:
+        config = config.with_updates(encode=True)
+    session = _session(args, config=config)
     if args.kernel:
         kernel = get_kernel(args.kernel)
         source = kernel.source
@@ -100,7 +119,10 @@ def _cmd_compile(args) -> int:
         name = os.path.basename(args.source)
     else:
         raise SystemExit("error: provide a source file or --kernel NAME")
-    compiled = compiler.compile_source(source, name=name)
+    try:
+        compiled = session.compile(source, name=name)
+    except ReproError as error:
+        raise SystemExit("error: %s" % error_report(error))
     print(compiled.listing())
     print("code size: %d instruction words (%d RT operations, %d spills)" % (
         compiled.code_size, compiled.operation_count, compiled.spill_count))
@@ -109,9 +131,23 @@ def _cmd_compile(args) -> int:
         print("relative to hand-written reference (%d words): %.0f%%" % (
             hand, 100.0 * compiled.code_size / hand))
     if args.binary:
-        encoder = InstructionEncoder(result.netlist)
         print("\nbinary encoding (dash = don't-care bit):")
-        print(encoder.listing(compiled.words))
+        print(compiled.encoding)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    cache = _cache_from_args(args)
+    if args.clear:
+        removed = cache.clear()
+        print("removed %d cached retarget result(s) from %s" % (
+            removed, cache.directory or "(memory)"))
+        return 0
+    # Only the disk tier outlives a CLI invocation; the in-process
+    # hit/miss counters of a fresh cache object would always read 0.
+    stats = cache.stats()
+    for key in ("directory", "disk_entries"):
+        print("%-16s %s" % (key, stats[key]))
     return 0
 
 
@@ -129,20 +165,34 @@ def _cmd_figure2(_args) -> int:
     return 0
 
 
-def _table3_fallback() -> int:
+def _table3_fallback(args) -> int:
     """Inline table 3 printing that does not require the benchmarks package."""
+    cache = _cache_from_args(args)
+    registry = default_registry()
     header = "%-12s %14s %22s" % ("target", "RT templates", "retargeting time [s]")
     print(header)
     print("-" * len(header))
-    for name in all_target_names():
-        result = retarget(target_hdl_source(name))
-        print("%-12s %14d %22.3f" % (name, result.template_count, result.timings.total))
+    for name in registry:
+        result, hit = cache.get_or_retarget(registry.hdl_source(name))
+        timing = "(cached)" if hit else "%22.3f" % result.timings.total
+        print("%-12s %14d %22s" % (name, result.template_count, timing))
     return 0
 
 
 # ---------------------------------------------------------------------------
 # argument parsing
 # ---------------------------------------------------------------------------
+
+
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-run the retargeting flow (skip the retarget cache)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="retarget cache directory (default: $REPRO_CACHE_DIR or ~/.cache/repro/retarget)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -153,25 +203,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command")
 
-    subparsers.add_parser("targets", help="list built-in target processors")
+    subparsers.add_parser("targets", help="list registered target processors")
     subparsers.add_parser("kernels", help="list DSPStone kernels")
 
     retarget_parser = subparsers.add_parser(
         "retarget", help="retarget RECORD to a processor and print the report"
     )
-    retarget_parser.add_argument("target", help="built-in target name or HDL file path")
+    retarget_parser.add_argument("target", help="registered target name or HDL file path")
     retarget_parser.add_argument("--templates", action="store_true", help="print the extended RT template base")
     retarget_parser.add_argument("--bnf", action="store_true", help="print the tree grammar in BNF form")
     retarget_parser.add_argument("--features", action="store_true", help="print the table-1 feature checklist")
+    _add_cache_flags(retarget_parser)
 
     compile_parser = subparsers.add_parser("compile", help="compile a program for a target")
-    compile_parser.add_argument("target", help="built-in target name or HDL file path")
+    compile_parser.add_argument("target", help="registered target name or HDL file path")
     compile_parser.add_argument("source", nargs="?", help="source file in the C-like input language")
     compile_parser.add_argument("--kernel", help="compile a named DSPStone kernel instead of a file")
     compile_parser.add_argument("--baseline", action="store_true", help="use the conventional-compiler baseline")
+    compile_parser.add_argument(
+        "--preset", choices=sorted(PRESETS),
+        help="pipeline preset (ablations of the paper's experiments)",
+    )
     compile_parser.add_argument("--binary", action="store_true", help="also print the binary instruction encoding")
+    _add_cache_flags(compile_parser)
 
-    subparsers.add_parser("table3", help="print table 3 (retargeting time per target)")
+    cache_parser = subparsers.add_parser("cache", help="inspect or clear the retarget cache")
+    cache_parser.add_argument("--clear", action="store_true", help="remove every cached retarget result")
+    _add_cache_flags(cache_parser)
+
+    table3_parser = subparsers.add_parser("table3", help="print table 3 (retargeting time per target)")
+    _add_cache_flags(table3_parser)
     subparsers.add_parser("figure2", help="print figure 2 (relative code size per kernel)")
     return parser
 
@@ -190,11 +251,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_retarget(args)
     if args.command == "compile":
         return _cmd_compile(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "table3":
         try:
             return _cmd_table3(args)
         except ImportError:
-            return _table3_fallback()
+            return _table3_fallback(args)
     if args.command == "figure2":
         try:
             return _cmd_figure2(args)

@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.diagnostics import ReproError
 from repro.grammar.grammar import RuleKind, storage_of_nonterminal
 from repro.ir.binding import ResourceBinding
 from repro.ir.expr import Const, IRNode, Op, PortInput, VarRef
@@ -22,8 +23,10 @@ from repro.selector.burs import CodeSelector, Reduction, SelectionError
 from repro.selector.subject import SubjectNode
 
 
-class CodeGenerationError(Exception):
+class CodeGenerationError(ReproError):
     """Raised when a statement cannot be covered by the target's templates."""
+
+    phase = "selection"
 
 
 @dataclass

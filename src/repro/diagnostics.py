@@ -1,0 +1,110 @@
+"""Structured diagnostics shared by every layer of the toolchain.
+
+All errors the package raises on invalid *user input* (HDL models, source
+programs, target names, pipeline configurations) derive from
+:class:`ReproError`, so callers of the high-level API --
+:class:`repro.toolchain.Toolchain` and friends -- can catch one exception
+type and still present precise, located messages.  Errors that carry a
+position in an input text attach a :class:`SourceLocation`.
+
+This module sits below every other ``repro`` package and must not import
+any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A position in an input text (HDL model or source program).
+
+    ``line`` and ``column`` are 1-based; 0 means unknown.  ``filename`` is
+    the origin of the text when it came from a file (``None`` for inline
+    strings such as the built-in processor models).
+    """
+
+    line: int = 0
+    column: int = 0
+    filename: Optional[str] = None
+
+    def __bool__(self) -> bool:
+        return bool(self.line or self.column or self.filename)
+
+    def __str__(self) -> str:
+        parts = []
+        if self.filename:
+            parts.append(self.filename)
+        if self.line:
+            parts.append("line %d" % self.line)
+        if self.column:
+            parts.append("column %d" % self.column)
+        return ", ".join(parts)
+
+
+class ReproError(Exception):
+    """Base class of every structured error raised by the toolchain.
+
+    ``location`` is a :class:`SourceLocation` (possibly empty) and
+    ``phase`` names the pipeline phase that raised the error (``"hdl"``,
+    ``"frontend"``, ``"selection"``, ...) when known.
+    """
+
+    phase: str = ""
+
+    def __init__(
+        self,
+        message: str,
+        location: Optional[SourceLocation] = None,
+        phase: Optional[str] = None,
+    ):
+        self.location = location if location is not None else SourceLocation()
+        if phase is not None:
+            self.phase = phase
+        if self.location:
+            message = "%s: %s" % (self.location, message)
+        super().__init__(message)
+
+
+class TargetError(ReproError, KeyError):
+    """An unknown target name or an invalid target registration.
+
+    Also a :class:`KeyError` because the registry behaves like a mapping
+    (and for compatibility with the pre-registry lookup API).
+    """
+
+    phase = "target"
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message; keep it readable.
+        return Exception.__str__(self)
+
+
+class RetargetError(ReproError):
+    """The retargeting flow failed on a structurally valid model (e.g. no
+    usable instruction set could be extracted)."""
+
+    phase = "retarget"
+
+
+class PipelineError(ReproError):
+    """An invalid pass-pipeline configuration (unknown pass or preset,
+    broken pass ordering)."""
+
+    phase = "pipeline"
+
+
+class CacheError(ReproError):
+    """The retarget cache is unusable (unwritable directory, corrupt
+    entry that cannot be discarded)."""
+
+    phase = "cache"
+
+
+def error_report(error: ReproError) -> str:
+    """A one-line, human-readable report of a structured error."""
+    kind = type(error).__name__
+    phase = " [%s]" % error.phase if error.phase else ""
+    return "%s%s: %s" % (kind, phase, error)

@@ -5,14 +5,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro.diagnostics import ReproError, SourceLocation
 
-class SourceSyntaxError(Exception):
+
+class SourceSyntaxError(ReproError):
     """Raised for lexical or syntactic errors in source programs."""
 
+    phase = "frontend"
+
     def __init__(self, message: str, line: int = 0):
-        if line:
-            message = "line %d: %s" % (line, message)
-        super().__init__(message)
+        super().__init__(message, location=SourceLocation(line=line))
         self.line = line
 
 

@@ -14,6 +14,7 @@ from repro.frontend.ast import (
     SourceUnary,
     SourceVar,
 )
+from repro.diagnostics import ReproError
 from repro.frontend.parser import parse_source
 from repro.ir.expr import Const, IRNode, Op, VarRef
 from repro.ir.program import BasicBlock, Program, Statement
@@ -37,9 +38,11 @@ _UNARY_NAMES = {
 }
 
 
-class LoweringError(Exception):
+class LoweringError(ReproError):
     """Raised when a source program cannot be lowered (undeclared variables,
     non-constant array indices, out-of-range accesses)."""
+
+    phase = "frontend"
 
 
 def lower_source(program: SourceProgram) -> Program:

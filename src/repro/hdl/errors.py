@@ -1,10 +1,19 @@
-"""Errors raised by the HDL frontend."""
+"""Errors raised by the HDL frontend.
+
+All of them are :class:`repro.diagnostics.ReproError` subclasses, so the
+high-level :mod:`repro.toolchain` API surfaces them with structured
+locations instead of bare strings.
+"""
 
 from __future__ import annotations
 
+from repro.diagnostics import ReproError, SourceLocation
 
-class HdlError(Exception):
+
+class HdlError(ReproError):
     """Base class for all HDL frontend errors."""
+
+    phase = "hdl"
 
 
 class HdlParseError(HdlError):
@@ -17,9 +26,7 @@ class HdlParseError(HdlError):
     def __init__(self, message: str, line: int = 0, column: int = 0):
         self.line = line
         self.column = column
-        if line:
-            message = "line %d, column %d: %s" % (line, column, message)
-        super().__init__(message)
+        super().__init__(message, location=SourceLocation(line=line, column=column))
 
 
 class HdlSemanticError(HdlError):

@@ -6,13 +6,20 @@
   quantity reported in table 3 of the paper);
 * :mod:`repro.record.compiler` -- the retargetable compiler built on top of
   a retargeting result: source program -> IR -> code selection ->
-  scheduling/spilling -> compaction -> machine code;
+  scheduling/spilling -> compaction -> machine code.  ``RecordCompiler``
+  is now a thin shim over the session/pipeline API of
+  :mod:`repro.toolchain`, which new code should use directly;
 * :mod:`repro.record.report` -- textual reports (retargeting summary,
   processor-class feature checklist of table 1).
 """
 
 from repro.record.retarget import PhaseTimings, RetargetResult, retarget
-from repro.record.compiler import CompiledProgram, CompilerOptions, RecordCompiler
+from repro.record.compiler import (
+    CompiledProgram,
+    CompilerOptions,
+    RecordCompiler,
+    restricted_selector,
+)
 from repro.record.report import processor_class_report, retargeting_report
 
 __all__ = [
@@ -22,6 +29,7 @@ __all__ = [
     "RecordCompiler",
     "RetargetResult",
     "processor_class_report",
+    "restricted_selector",
     "retarget",
     "retargeting_report",
 ]

@@ -1,22 +1,25 @@
-"""The retargetable compiler built on a retargeting result."""
+"""The retargetable compiler built on a retargeting result.
+
+.. deprecated::
+    :class:`RecordCompiler` and :class:`CompilerOptions` are kept as thin
+    shims over the session/pipeline API in :mod:`repro.toolchain`; new
+    code should use :class:`repro.toolchain.Toolchain` /
+    :class:`repro.toolchain.Session` with a
+    :class:`repro.toolchain.PipelineConfig`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.codegen.compaction import InstructionWord, code_size, compact
+from repro.codegen.compaction import InstructionWord, code_size
 from repro.codegen.emitter import format_listing
-from repro.codegen.schedule import schedule_instances
-from repro.codegen.selection import (
-    RTInstance,
-    StatementCode,
-    select_statement,
-)
-from repro.codegen.spill import count_spills, insert_spills
+from repro.codegen.selection import RTInstance, StatementCode
+from repro.codegen.spill import count_spills
 from repro.frontend.lowering import lower_to_program
 from repro.grammar.construct import build_tree_grammar
-from repro.ir.binding import ResourceBinding, bind_program, default_data_memory
+from repro.ir.binding import ResourceBinding
 from repro.ir.program import Program
 from repro.ise.templates import RTTemplateBase
 from repro.record.retarget import RetargetResult
@@ -25,7 +28,8 @@ from repro.selector.burs import CodeSelector
 
 @dataclass
 class CompilerOptions:
-    """Code-generation knobs.
+    """Code-generation knobs (legacy twin of
+    :class:`repro.toolchain.PipelineConfig`).
 
     The defaults correspond to the full RECORD flow; the ablation benchmarks
     and the conventional-compiler baseline switch individual features off.
@@ -54,6 +58,8 @@ class CompiledProgram:
     instances: List[RTInstance] = field(default_factory=list)
     words: List[InstructionWord] = field(default_factory=list)
     binding: Optional[ResourceBinding] = None
+    # Binary instruction encoding, when the pipeline ran the encode pass.
+    encoding: Optional[str] = None
 
     @property
     def code_size(self) -> int:
@@ -77,37 +83,75 @@ class CompiledProgram:
         return format_listing(self.words, title="%s on %s" % (self.program.name, self.processor))
 
 
+def restricted_selector(
+    retarget_result: RetargetResult,
+    allow_chained: bool = True,
+    use_expanded_templates: bool = True,
+) -> CodeSelector:
+    """The code selector for a (possibly restricted) template base.
+
+    Dropping chained templates models conventional code generators that
+    only know single-operation instructions; dropping expansion-derived
+    templates disables the commutativity / rewrite-rule search space.
+
+    Restricted grammars are memoized *on the retarget result*, so every
+    compiler/session sharing one result also shares one selector per
+    restriction -- ablation sweeps stop paying repeated grammar
+    construction.  (The memo lives in a ``_``-prefixed attribute, which
+    the retarget cache deliberately does not pickle.)
+    """
+    if allow_chained and use_expanded_templates:
+        return retarget_result.selector
+    memo = retarget_result.__dict__.setdefault("_restricted_selectors", {})
+    key = (allow_chained, use_expanded_templates)
+    if key not in memo:
+        base = retarget_result.template_base
+        restricted = RTTemplateBase(processor=base.processor)
+        for template in base:
+            if not allow_chained and template.is_chained():
+                continue
+            if not use_expanded_templates and template.origin != "extracted":
+                continue
+            restricted.add(template)
+        grammar = build_tree_grammar(retarget_result.netlist, restricted)
+        memo[key] = CodeSelector(grammar)
+    return memo[key]
+
+
 class RecordCompiler:
-    """Compile source programs for a retargeted processor."""
+    """Compile source programs for a retargeted processor.
+
+    .. deprecated::
+        Thin shim over :class:`repro.toolchain.Session`; results are
+        bit-identical to the session API by construction (the shim
+        delegates to it).
+    """
 
     def __init__(
         self,
         retarget_result: RetargetResult,
         options: Optional[CompilerOptions] = None,
     ):
+        # Imported here (not at module level): repro.toolchain builds on
+        # this module, and this legacy shim builds on repro.toolchain.
+        from repro.toolchain.passes import PipelineConfig
+        from repro.toolchain.session import Session
+
         self.retarget_result = retarget_result
         self.options = options if options is not None else CompilerOptions()
-        self._selector = self._build_selector()
+        self._session = Session(
+            retarget_result, config=PipelineConfig.from_options(self.options)
+        )
+        self._selector = self._session.selector
 
     # -- construction ------------------------------------------------------------
 
     def _build_selector(self) -> CodeSelector:
-        if self.options.allow_chained and self.options.use_expanded_templates:
-            return self.retarget_result.selector
-        # Rebuild the grammar from a restricted subset of the template base:
-        # dropping chained templates models conventional code generators that
-        # only know single-operation instructions, dropping expansion-derived
-        # templates disables the commutativity / rewrite-rule search space.
-        base = self.retarget_result.template_base
-        restricted = RTTemplateBase(processor=base.processor)
-        for template in base:
-            if not self.options.allow_chained and template.is_chained():
-                continue
-            if not self.options.use_expanded_templates and template.origin != "extracted":
-                continue
-            restricted.add(template)
-        grammar = build_tree_grammar(self.retarget_result.netlist, restricted)
-        return CodeSelector(grammar)
+        return restricted_selector(
+            self.retarget_result,
+            allow_chained=self.options.allow_chained,
+            use_expanded_templates=self.options.use_expanded_templates,
+        )
 
     # -- compilation ----------------------------------------------------------------
 
@@ -117,29 +161,8 @@ class RecordCompiler:
         binding_overrides: Optional[Dict[str, str]] = None,
     ) -> CompiledProgram:
         """Compile an IR program (a straight-line basic block per block)."""
-        netlist = self.retarget_result.netlist
-        binding = bind_program(program, netlist, overrides=binding_overrides)
-        spill_storage = default_data_memory(netlist)
-        statement_codes: List[StatementCode] = []
-        all_instances: List[RTInstance] = []
-        for block in program.blocks:
-            for statement in block.statements:
-                code = select_statement(statement, self._selector, binding)
-                instances = code.instances
-                if self.options.use_scheduling:
-                    instances = schedule_instances(instances)
-                instances = insert_spills(instances, spill_storage)
-                code.instances = instances
-                statement_codes.append(code)
-                all_instances.extend(instances)
-        words = compact(all_instances, enabled=self.options.use_compaction)
-        return CompiledProgram(
-            program=program,
-            processor=self.retarget_result.processor,
-            statement_codes=statement_codes,
-            instances=all_instances,
-            words=words,
-            binding=binding,
+        return self._session.compile_program(
+            program, binding_overrides=binding_overrides
         )
 
     def compile_source(

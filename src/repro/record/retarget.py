@@ -79,6 +79,26 @@ class RetargetResult:
         table 3)."""
         return len(self.template_base)
 
+    # The generated matcher is a ``types.ModuleType`` and cannot be
+    # pickled; the retarget cache regenerates it from the grammar on load.
+    # Per-result selector caches (see ``repro.record.compiler``) are
+    # likewise rebuilt on demand rather than serialized.
+    def __getstate__(self):
+        state = {
+            key: value
+            for key, value in self.__dict__.items()
+            if not key.startswith("_")
+        }
+        state["matcher_module"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+    def regenerate_matcher(self) -> None:
+        """(Re)build the generated matcher module from the grammar."""
+        self.matcher_module = compile_matcher_module(self.grammar)
+
     def summary(self) -> Dict[str, object]:
         return {
             "processor": self.processor,

@@ -1,71 +1,31 @@
-"""Registry of the built-in target processors."""
+"""Built-in target lookup -- a thin shim over the toolchain registry.
+
+The authoritative store of targets is
+:data:`repro.toolchain.registry.REGISTRY`; this module keeps the
+historical function-style API (``all_target_names`` / ``get_target`` /
+``target_hdl_source``) alive on top of it.  New code should use the
+registry directly (see :mod:`repro.toolchain`).
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List
 
 from repro.hdl.parser import parse_processor
 from repro.netlist.builder import build_netlist
 from repro.netlist.netlist import Netlist
-from repro.targets.models import bass_boost, demo, manocpu, ref, tanenbaum, tms320c25
+from repro.toolchain.registry import TargetSpec, default_registry
 
+__all__ = [
+    "TABLE3_ORDER",
+    "TargetSpec",
+    "all_target_names",
+    "get_target",
+    "load_target_netlist",
+    "target_hdl_source",
+]
 
-@dataclass(frozen=True)
-class TargetSpec:
-    """Metadata of one built-in target processor."""
-
-    name: str
-    hdl_source: str
-    description: str
-    category: str
-    # The storage resource in which program variables live by default.
-    default_variable_storage: Optional[str] = "DMEM"
-    # Variables that should live in registers/ports instead of memory may be
-    # listed here per experiment; empty by default.
-    binding_overrides: Dict[str, str] = field(default_factory=dict)
-
-
-_TARGETS: Dict[str, TargetSpec] = {
-    "demo": TargetSpec(
-        name="demo",
-        hdl_source=demo.HDL_SOURCE,
-        description="Small single-accumulator example machine with ALU and multiplier",
-        category="simple example",
-    ),
-    "ref": TargetSpec(
-        name="ref",
-        hdl_source=ref.HDL_SOURCE,
-        description="Reference machine: 4 registers, MAC unit, horizontal instruction word",
-        category="simple example",
-    ),
-    "manocpu": TargetSpec(
-        name="manocpu",
-        hdl_source=manocpu.HDL_SOURCE,
-        description="Mano's basic computer (educational accumulator machine)",
-        category="educational",
-    ),
-    "tanenbaum": TargetSpec(
-        name="tanenbaum",
-        hdl_source=tanenbaum.HDL_SOURCE,
-        description="Tanenbaum's Mac-1 (educational accumulator/stack machine)",
-        category="educational",
-    ),
-    "bass_boost": TargetSpec(
-        name="bass_boost",
-        hdl_source=bass_boost.HDL_SOURCE,
-        description="Industrial-style audio filter ASIP with a single MAC path",
-        category="industrial ASIP",
-    ),
-    "tms320c25": TargetSpec(
-        name="tms320c25",
-        hdl_source=tms320c25.HDL_SOURCE,
-        description="TMS320C25-style fixed-point DSP (heterogeneous registers, MAC)",
-        category="standard DSP",
-    ),
-}
-
-# The order used by table 3 of the paper.
+# The order used by table 3 of the paper (= built-in registration order).
 TABLE3_ORDER: List[str] = [
     "demo",
     "ref",
@@ -78,24 +38,25 @@ TABLE3_ORDER: List[str] = [
 
 def all_target_names() -> List[str]:
     """Names of all built-in targets, in the paper's table 3 order."""
-    return list(TABLE3_ORDER)
+    registry = default_registry()
+    return [name for name in registry.names()
+            if registry.get(name).origin == "builtin"]
 
 
 def get_target(name: str) -> TargetSpec:
-    """The :class:`TargetSpec` of a built-in target."""
-    try:
-        return _TARGETS[name]
-    except KeyError:
-        raise KeyError(
-            "unknown target %r; available targets: %s" % (name, ", ".join(TABLE3_ORDER))
-        )
+    """The :class:`TargetSpec` of a registered target.
+
+    Raises :class:`repro.diagnostics.TargetError` (a :class:`KeyError`
+    subclass) for unknown names.
+    """
+    return default_registry().get(name)
 
 
 def target_hdl_source(name: str) -> str:
-    """The HDL source text of a built-in target."""
+    """The HDL source text of a registered target."""
     return get_target(name).hdl_source
 
 
 def load_target_netlist(name: str) -> Netlist:
-    """Parse and build the netlist of a built-in target."""
+    """Parse and build the netlist of a registered target."""
     return build_netlist(parse_processor(target_hdl_source(name)))

@@ -1,0 +1,92 @@
+"""The toolchain API: sessions, pipelines, target registry, retarget cache.
+
+This package is the canonical programmatic surface of the reproduction:
+
+* :class:`Toolchain` / :class:`Session`
+  (:mod:`repro.toolchain.session`) -- the facade.
+  ``Toolchain.for_target("tms320c25")`` retargets (through the cache) and
+  returns a session whose ``compile`` / ``compile_many`` amortize all
+  target-side setup;
+* :class:`TargetRegistry` (:mod:`repro.toolchain.registry`) -- uniform
+  registration and lookup of processor models: built-ins, user HDL text,
+  HDL files and entry points;
+* :class:`PassManager` / :class:`Pass` / :class:`PipelineConfig`
+  (:mod:`repro.toolchain.passes`) -- the backend phases as named,
+  reorderable passes with the paper's ablations as presets;
+* :class:`RetargetCache` (:mod:`repro.toolchain.cache`) -- content-hash
+  caching of retargeting results (memory + disk);
+* the :class:`repro.diagnostics.ReproError` hierarchy -- structured,
+  located errors raised by every layer.
+
+The legacy pair ``retarget()`` + ``RecordCompiler`` remains available as
+a shim over this package (see ``docs/API.md`` for migration notes).
+"""
+
+from repro.diagnostics import (
+    CacheError,
+    PipelineError,
+    ReproError,
+    RetargetError,
+    SourceLocation,
+    TargetError,
+    error_report,
+)
+from repro.toolchain.cache import (
+    RetargetCache,
+    default_cache,
+    default_cache_dir,
+    retarget_fingerprint,
+)
+from repro.toolchain.passes import (
+    PRESETS,
+    CompactionPass,
+    CompilationState,
+    EncodingPass,
+    Pass,
+    PassContext,
+    PassManager,
+    PipelineConfig,
+    SchedulingPass,
+    SelectionPass,
+    SpillPass,
+)
+from repro.toolchain.registry import (
+    REGISTRY,
+    TargetRegistry,
+    TargetSpec,
+    default_registry,
+    register_target,
+)
+from repro.toolchain.session import Session, Toolchain
+
+__all__ = [
+    "CacheError",
+    "CompactionPass",
+    "CompilationState",
+    "EncodingPass",
+    "PRESETS",
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "PipelineConfig",
+    "REGISTRY",
+    "ReproError",
+    "RetargetCache",
+    "RetargetError",
+    "PipelineError",
+    "SchedulingPass",
+    "SelectionPass",
+    "Session",
+    "SourceLocation",
+    "SpillPass",
+    "TargetError",
+    "TargetRegistry",
+    "TargetSpec",
+    "Toolchain",
+    "default_cache",
+    "default_cache_dir",
+    "default_registry",
+    "error_report",
+    "register_target",
+    "retarget_fingerprint",
+]

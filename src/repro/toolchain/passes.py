@@ -1,0 +1,294 @@
+"""The code-generation pass pipeline.
+
+The RECORD backend is a fixed sequence of phases -- code selection, list
+scheduling, spill insertion, compaction, instruction encoding.  This
+module makes each phase a named :class:`Pass` over a
+:class:`CompilationState`, ordered by a :class:`PassManager`, configured
+by a :class:`PipelineConfig`.  The four raw booleans of the legacy
+:class:`repro.record.compiler.CompilerOptions` map 1:1 onto configs (see
+:meth:`PipelineConfig.from_options`), and the ablation experiments of the
+paper are available as named presets (:data:`PRESETS`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.codegen.compaction import InstructionWord, compact
+from repro.codegen.schedule import schedule_instances
+from repro.codegen.selection import RTInstance, StatementCode, select_statement
+from repro.codegen.spill import insert_spills
+from repro.diagnostics import PipelineError
+from repro.ir.binding import ResourceBinding
+from repro.ir.program import Program
+from repro.selector.burs import CodeSelector
+
+
+# ---------------------------------------------------------------------------
+# Configuration
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Declarative description of one backend pipeline.
+
+    ``allow_chained`` and ``use_expanded_templates`` restrict the *grammar*
+    the selector uses; ``use_scheduling`` / ``use_compaction`` toggle the
+    corresponding passes; ``encode`` appends the binary instruction
+    encoder.  Frozen (hashable) so configs can key selector caches.
+    """
+
+    allow_chained: bool = True
+    use_expanded_templates: bool = True
+    use_scheduling: bool = True
+    use_compaction: bool = True
+    encode: bool = False
+
+    def pass_names(self) -> List[str]:
+        names = ["select"]
+        if self.use_scheduling:
+            names.append("schedule")
+        names.append("spill")
+        names.append("compact")
+        if self.encode:
+            names.append("encode")
+        return names
+
+    def selector_key(self) -> tuple:
+        """The part of the config that decides which grammar/selector is
+        needed (restricted-selector cache key)."""
+        return (self.allow_chained, self.use_expanded_templates)
+
+    def with_updates(self, **changes) -> "PipelineConfig":
+        return replace(self, **changes)
+
+    @classmethod
+    def preset(cls, name: str) -> "PipelineConfig":
+        """One of the named ablation presets (see :data:`PRESETS`)."""
+        try:
+            return PRESETS[name]
+        except KeyError:
+            raise PipelineError(
+                "unknown pipeline preset %r; available presets: %s"
+                % (name, ", ".join(sorted(PRESETS)))
+            ) from None
+
+    @classmethod
+    def from_options(cls, options) -> "PipelineConfig":
+        """Bridge from the legacy :class:`CompilerOptions`."""
+        return cls(
+            allow_chained=options.allow_chained,
+            use_expanded_templates=options.use_expanded_templates,
+            use_scheduling=options.use_scheduling,
+            use_compaction=options.use_compaction,
+        )
+
+    def to_options(self):
+        """Bridge to the legacy :class:`CompilerOptions`."""
+        from repro.record.compiler import CompilerOptions
+
+        return CompilerOptions(
+            allow_chained=self.allow_chained,
+            use_expanded_templates=self.use_expanded_templates,
+            use_scheduling=self.use_scheduling,
+            use_compaction=self.use_compaction,
+        )
+
+
+#: The ablation presets of the paper's experiments (section 4): ``full``
+#: is the complete RECORD flow, ``conventional`` the baseline compiler of
+#: figure 2, and each ``no-*`` preset disables exactly one mechanism.
+PRESETS: Dict[str, PipelineConfig] = {
+    "full": PipelineConfig(),
+    "no-chained": PipelineConfig(allow_chained=False),
+    "no-expansion": PipelineConfig(use_expanded_templates=False),
+    "no-scheduling": PipelineConfig(use_scheduling=False),
+    "no-compaction": PipelineConfig(use_compaction=False),
+    "conventional": PipelineConfig(
+        allow_chained=False,
+        use_expanded_templates=False,
+        use_scheduling=False,
+        use_compaction=False,
+    ),
+}
+
+
+# ---------------------------------------------------------------------------
+# State threaded through the passes
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PassContext:
+    """Target-side inputs of a pipeline run (fixed across statements)."""
+
+    selector: CodeSelector
+    binding: ResourceBinding
+    spill_storage: str
+    netlist: object = None
+    config: PipelineConfig = field(default_factory=PipelineConfig)
+
+
+@dataclass
+class CompilationState:
+    """Mutable program-side state owned by one pipeline run.
+
+    Passes own every object in here -- :class:`SelectionPass` copies the
+    selector's output instead of aliasing it, so later passes may rebind
+    freely without corrupting cached selection results.
+    """
+
+    program: Program
+    statement_codes: List[StatementCode] = field(default_factory=list)
+    words: List[InstructionWord] = field(default_factory=list)
+    encoding: Optional[str] = None
+
+    def all_instances(self) -> List[RTInstance]:
+        instances: List[RTInstance] = []
+        for code in self.statement_codes:
+            instances.extend(code.instances)
+        return instances
+
+
+# ---------------------------------------------------------------------------
+# Passes
+# ---------------------------------------------------------------------------
+
+
+class Pass:
+    """One named phase of the backend pipeline.
+
+    Subclasses set :attr:`name` and implement :meth:`run`, mutating the
+    :class:`CompilationState` in place.
+    """
+
+    name: str = "pass"
+
+    def run(self, state: CompilationState, context: PassContext) -> None:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "<%s %r>" % (type(self).__name__, self.name)
+
+
+class SelectionPass(Pass):
+    """Optimal BURS cover of every statement.
+
+    Produces *fresh* :class:`StatementCode` objects: the instance list
+    returned by the selector is copied, never aliased, so a shared or
+    cached selection result survives downstream rewriting.
+    """
+
+    name = "select"
+
+    def run(self, state: CompilationState, context: PassContext) -> None:
+        for block in state.program.blocks:
+            for statement in block.statements:
+                code = select_statement(statement, context.selector, context.binding)
+                state.statement_codes.append(
+                    StatementCode(
+                        statement=code.statement,
+                        cost=code.cost,
+                        instances=list(code.instances),
+                    )
+                )
+
+
+class SchedulingPass(Pass):
+    """Clobber-avoiding list scheduling within each statement."""
+
+    name = "schedule"
+
+    def run(self, state: CompilationState, context: PassContext) -> None:
+        for code in state.statement_codes:
+            code.instances = schedule_instances(code.instances)
+
+
+class SpillPass(Pass):
+    """Insert spill stores/reloads where storage pressure demands them."""
+
+    name = "spill"
+
+    def run(self, state: CompilationState, context: PassContext) -> None:
+        for code in state.statement_codes:
+            code.instances = insert_spills(code.instances, context.spill_storage)
+
+
+class CompactionPass(Pass):
+    """Pack independent RTs into horizontal instruction words.
+
+    Always produces ``state.words``; with ``enabled=False`` each RT gets
+    its own word (the uncompacted baseline).
+    """
+
+    name = "compact"
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+
+    def run(self, state: CompilationState, context: PassContext) -> None:
+        state.words = compact(state.all_instances(), enabled=self.enabled)
+
+
+class EncodingPass(Pass):
+    """Render the binary instruction encoding of the compacted words."""
+
+    name = "encode"
+
+    def run(self, state: CompilationState, context: PassContext) -> None:
+        from repro.codegen.encoding import InstructionEncoder
+
+        if context.netlist is None:
+            raise PipelineError("encoding pass needs the target netlist in the context")
+        state.encoding = InstructionEncoder(context.netlist).listing(state.words)
+
+
+# ---------------------------------------------------------------------------
+# The manager
+# ---------------------------------------------------------------------------
+
+
+class PassManager:
+    """An ordered, editable pipeline of :class:`Pass` objects."""
+
+    def __init__(self, passes: List[Pass]):
+        self.passes = list(passes)
+
+    @classmethod
+    def from_config(cls, config: PipelineConfig) -> "PassManager":
+        passes: List[Pass] = [SelectionPass()]
+        if config.use_scheduling:
+            passes.append(SchedulingPass())
+        passes.append(SpillPass())
+        passes.append(CompactionPass(enabled=config.use_compaction))
+        if config.encode:
+            passes.append(EncodingPass())
+        return cls(passes)
+
+    def names(self) -> List[str]:
+        return [p.name for p in self.passes]
+
+    def _index_of(self, name: str) -> int:
+        for index, p in enumerate(self.passes):
+            if p.name == name:
+                return index
+        raise PipelineError(
+            "no pass named %r in pipeline [%s]" % (name, ", ".join(self.names()))
+        )
+
+    def insert_after(self, name: str, new_pass: Pass) -> None:
+        self.passes.insert(self._index_of(name) + 1, new_pass)
+
+    def insert_before(self, name: str, new_pass: Pass) -> None:
+        self.passes.insert(self._index_of(name), new_pass)
+
+    def remove(self, name: str) -> Pass:
+        return self.passes.pop(self._index_of(name))
+
+    def run(self, program: Program, context: PassContext) -> CompilationState:
+        state = CompilationState(program=program)
+        for p in self.passes:
+            p.run(state, context)
+        return state

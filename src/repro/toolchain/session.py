@@ -1,0 +1,245 @@
+"""The session/pipeline facade -- the canonical compilation API.
+
+A :class:`Session` owns one retargeted processor plus one configured pass
+pipeline and amortizes everything target-side (grammar restriction,
+selector construction, spill-storage lookup) across any number of
+compilations::
+
+    from repro.toolchain import Toolchain
+
+    session = Toolchain.for_target("tms320c25")
+    compiled = session.compile("int a, b, c, d; d = c + a * b;")
+    batch = session.compile_many([src1, src2, src3])
+
+:class:`Toolchain` binds a :class:`~repro.toolchain.registry.TargetRegistry`
+(where the HDL comes from) to a :class:`~repro.toolchain.cache.RetargetCache`
+(whether retargeting re-runs) and hands out sessions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.frontend.lowering import lower_to_program
+from repro.ir.binding import bind_program, default_data_memory
+from repro.ir.program import Program
+from repro.record.compiler import CompiledProgram, restricted_selector
+from repro.record.retarget import RetargetResult, retarget
+from repro.toolchain.cache import RetargetCache, default_cache
+from repro.toolchain.passes import (
+    CompilationState,
+    PassContext,
+    PassManager,
+    PipelineConfig,
+)
+from repro.toolchain.registry import TargetRegistry, TargetSpec, default_registry
+
+Source = Union[str, Program]
+
+
+class Session:
+    """A compilation session: one retargeted processor, one pipeline.
+
+    Construction is the expensive part (selector restriction happens
+    here, memoized per retarget result); ``compile``/``compile_many`` are
+    then cheap and side-effect free.
+    """
+
+    def __init__(
+        self,
+        retarget_result: RetargetResult,
+        config: Optional[PipelineConfig] = None,
+        spec: Optional[TargetSpec] = None,
+        pass_manager: Optional[PassManager] = None,
+    ):
+        self.retarget_result = retarget_result
+        self.config = config if config is not None else PipelineConfig()
+        self.spec = spec
+        self.selector = restricted_selector(
+            retarget_result,
+            allow_chained=self.config.allow_chained,
+            use_expanded_templates=self.config.use_expanded_templates,
+        )
+        self.pass_manager = (
+            pass_manager
+            if pass_manager is not None
+            else PassManager.from_config(self.config)
+        )
+        self._spill_storage = default_data_memory(retarget_result.netlist)
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def processor(self) -> str:
+        return self.retarget_result.processor
+
+    def pass_names(self) -> List[str]:
+        return self.pass_manager.names()
+
+    def reconfigured(self, config: PipelineConfig) -> "Session":
+        """A sibling session on the same retarget result with another
+        pipeline (selector restriction is shared via the memo cache)."""
+        return Session(self.retarget_result, config=config, spec=self.spec)
+
+    # -- compilation -------------------------------------------------------------
+
+    def _merged_overrides(
+        self, binding_overrides: Optional[Dict[str, str]]
+    ) -> Optional[Dict[str, str]]:
+        defaults = dict(self.spec.binding_overrides) if self.spec else {}
+        if binding_overrides:
+            defaults.update(binding_overrides)
+        return defaults or None
+
+    def compile_program(
+        self,
+        program: Program,
+        binding_overrides: Optional[Dict[str, str]] = None,
+    ) -> CompiledProgram:
+        """Run the configured pass pipeline on an IR program."""
+        binding = bind_program(
+            program,
+            self.retarget_result.netlist,
+            overrides=self._merged_overrides(binding_overrides),
+        )
+        context = PassContext(
+            selector=self.selector,
+            binding=binding,
+            spill_storage=self._spill_storage,
+            netlist=self.retarget_result.netlist,
+            config=self.config,
+        )
+        state: CompilationState = self.pass_manager.run(program, context)
+        return CompiledProgram(
+            program=program,
+            processor=self.processor,
+            statement_codes=state.statement_codes,
+            instances=state.all_instances(),
+            words=state.words,
+            binding=binding,
+            encoding=state.encoding,
+        )
+
+    def compile(
+        self,
+        source: Source,
+        name: str = "program",
+        binding_overrides: Optional[Dict[str, str]] = None,
+    ) -> CompiledProgram:
+        """Compile source text (or an already lowered IR program)."""
+        if isinstance(source, Program):
+            return self.compile_program(source, binding_overrides=binding_overrides)
+        program = lower_to_program(source, name=name)
+        return self.compile_program(program, binding_overrides=binding_overrides)
+
+    def compile_many(
+        self,
+        sources: Iterable[Source],
+        names: Optional[Iterable[str]] = None,
+        binding_overrides: Optional[Dict[str, str]] = None,
+    ) -> List[CompiledProgram]:
+        """Batch compilation: every source through the shared pipeline.
+
+        Equivalent to sequential :meth:`compile` calls but pays the
+        session's target-side setup exactly once (that setup already
+        happened in ``__init__``), which is what makes throughput-style
+        workloads cheap.
+        """
+        source_list = list(sources)
+        if names is None:
+            name_list = ["program%d" % index for index in range(len(source_list))]
+        else:
+            name_list = list(names)
+            if len(name_list) != len(source_list):
+                raise ValueError(
+                    "got %d names for %d sources" % (len(name_list), len(source_list))
+                )
+        return [
+            self.compile(source, name=name, binding_overrides=binding_overrides)
+            for source, name in zip(source_list, name_list)
+        ]
+
+    def compile_kernel(
+        self,
+        kernel_name: str,
+        binding_overrides: Optional[Dict[str, str]] = None,
+    ) -> CompiledProgram:
+        """Compile a DSPStone kernel by name."""
+        from repro.dspstone import kernel_program
+
+        return self.compile_program(
+            kernel_program(kernel_name), binding_overrides=binding_overrides
+        )
+
+    # -- reporting ---------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        info = dict(self.retarget_result.summary())
+        info["passes"] = ", ".join(self.pass_names())
+        return info
+
+
+class Toolchain:
+    """Factory of :class:`Session` objects.
+
+    Binds a target registry and a retarget cache; the classmethod
+    constructors use the process-wide defaults, which is what scripts and
+    the CLI want.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[TargetRegistry] = None,
+        cache: Optional[RetargetCache] = None,
+    ):
+        self.registry = registry if registry is not None else default_registry()
+        self.cache = cache if cache is not None else default_cache()
+
+    def _resolve_config(self, config, preset) -> PipelineConfig:
+        if config is not None and preset is not None:
+            raise ValueError("pass either config= or preset=, not both")
+        if preset is not None:
+            return PipelineConfig.preset(preset)
+        return config if config is not None else PipelineConfig()
+
+    def session_for_hdl(
+        self,
+        hdl_source: str,
+        config: Optional[PipelineConfig] = None,
+        preset: Optional[str] = None,
+        spec: Optional[TargetSpec] = None,
+        expansion=None,
+        generate_matcher: bool = True,
+        use_cache: bool = True,
+    ) -> Session:
+        """A session for raw HDL text (cache-aware)."""
+        resolved = self._resolve_config(config, preset)
+        if use_cache:
+            result, _hit = self.cache.get_or_retarget(
+                hdl_source, expansion=expansion, generate_matcher=generate_matcher
+            )
+        else:
+            result = retarget(
+                hdl_source, expansion=expansion, generate_matcher=generate_matcher
+            )
+        return Session(result, config=resolved, spec=spec)
+
+    def session(self, target: str, **kwargs) -> Session:
+        """A session for a registered target name or an HDL file path."""
+        spec = self.registry.resolve(target)
+        return self.session_for_hdl(spec.hdl_source, spec=spec, **kwargs)
+
+    # -- one-line constructors ---------------------------------------------------
+
+    @classmethod
+    def for_target(cls, target: str, **kwargs) -> Session:
+        """``Toolchain.for_target("tms320c25")`` -- the canonical entry."""
+        return cls().session(target, **kwargs)
+
+    @classmethod
+    def for_hdl(cls, hdl_source: str, **kwargs) -> Session:
+        return cls().session_for_hdl(hdl_source, **kwargs)
+
+    @classmethod
+    def for_file(cls, path: str, **kwargs) -> Session:
+        return cls().session(path, **kwargs)

@@ -1,0 +1,390 @@
+"""Tests for the repro.toolchain subsystem: registry, passes, cache,
+session API, and the structured diagnostics layer."""
+
+import pickle
+
+import pytest
+
+from repro.diagnostics import (
+    PipelineError,
+    ReproError,
+    SourceLocation,
+    TargetError,
+    error_report,
+)
+from repro.dspstone import all_kernel_names, get_kernel
+from repro.frontend import LoweringError, SourceSyntaxError
+from repro.hdl.errors import HdlParseError
+from repro.record.compiler import CompilerOptions, RecordCompiler, restricted_selector
+from repro.targets import all_target_names, target_hdl_source
+from repro.toolchain import (
+    PRESETS,
+    Pass,
+    PassManager,
+    PipelineConfig,
+    RetargetCache,
+    Session,
+    TargetRegistry,
+    TargetSpec,
+    Toolchain,
+    retarget_fingerprint,
+)
+
+
+# ---------------------------------------------------------------------------
+# Target registry
+# ---------------------------------------------------------------------------
+
+
+class TestTargetRegistry:
+    def test_default_registry_has_builtins(self):
+        toolchain = Toolchain()
+        assert set(all_target_names()) <= set(toolchain.registry.names())
+        spec = toolchain.registry.get("tms320c25")
+        assert spec.origin == "builtin"
+        assert spec.hdl_source == target_hdl_source("tms320c25")
+
+    def test_register_hdl_and_lookup(self):
+        registry = TargetRegistry()
+        registry.register_hdl("mychip", "processor mychip; ...", category="custom")
+        assert "mychip" in registry
+        assert registry.get("mychip").category == "custom"
+        assert registry.names() == ["mychip"]
+
+    def test_duplicate_registration_rejected(self):
+        registry = TargetRegistry()
+        registry.register_hdl("chip", "hdl-a")
+        with pytest.raises(TargetError):
+            registry.register_hdl("chip", "hdl-b")
+        registry.register_hdl("chip", "hdl-b", replace=True)
+        assert registry.get("chip").hdl_source == "hdl-b"
+
+    def test_unknown_target_raises_target_error(self):
+        registry = TargetRegistry()
+        with pytest.raises(TargetError):
+            registry.get("z80")
+        # Backwards compatibility: TargetError is a KeyError.
+        with pytest.raises(KeyError):
+            registry.get("z80")
+
+    def test_decorator_registration(self):
+        registry = TargetRegistry()
+
+        @registry.target("quirk", category="custom", description="a quirky ASIP")
+        def _quirk():
+            return "processor quirk; ..."
+
+        spec = registry.get("quirk")
+        assert spec.hdl_source == "processor quirk; ..."
+        assert spec.description == "a quirky ASIP"
+
+    def test_register_file_and_resolve_path(self, tmp_path):
+        hdl_file = tmp_path / "machine.hdl"
+        hdl_file.write_text(target_hdl_source("demo"))
+        registry = TargetRegistry()
+        spec = registry.register_file(str(hdl_file))
+        assert spec.name == "machine"
+        assert spec.origin == "file"
+        # resolve() accepts paths without registering them
+        ephemeral = registry.resolve(str(hdl_file))
+        assert ephemeral.hdl_source == target_hdl_source("demo")
+        with pytest.raises(TargetError):
+            registry.resolve("no-such-target-or-file")
+
+    def test_registry_mapping_protocol(self):
+        registry = TargetRegistry()
+        registry.register(TargetSpec(name="a", hdl_source="x"))
+        registry.register(TargetSpec(name="b", hdl_source="y"))
+        assert len(registry) == 2
+        assert list(registry) == ["a", "b"]
+        assert registry["a"].hdl_source == "x"
+
+
+# ---------------------------------------------------------------------------
+# Pass pipeline
+# ---------------------------------------------------------------------------
+
+
+class TestPipeline:
+    def test_default_pass_order(self):
+        manager = PassManager.from_config(PipelineConfig())
+        assert manager.names() == ["select", "schedule", "spill", "compact"]
+
+    def test_config_pass_names_match_manager(self):
+        for config in PRESETS.values():
+            assert PassManager.from_config(config).names() == config.pass_names()
+
+    def test_encode_pass_appended(self):
+        manager = PassManager.from_config(PipelineConfig(encode=True))
+        assert manager.names()[-1] == "encode"
+
+    def test_no_scheduling_preset_drops_pass(self):
+        manager = PassManager.from_config(PipelineConfig.preset("no-scheduling"))
+        assert "schedule" not in manager.names()
+        assert "select" in manager.names() and "spill" in manager.names()
+
+    def test_conventional_preset_matches_baseline_options(self):
+        from repro.baselines import conventional_options
+
+        assert PipelineConfig.preset("conventional") == PipelineConfig.from_options(
+            conventional_options()
+        )
+
+    def test_unknown_preset_raises(self):
+        with pytest.raises(PipelineError):
+            PipelineConfig.preset("turbo")
+
+    def test_options_roundtrip(self):
+        options = CompilerOptions(allow_chained=False, use_compaction=False)
+        config = PipelineConfig.from_options(options)
+        assert config.to_options() == options
+
+    def test_pipeline_editing(self):
+        manager = PassManager.from_config(PipelineConfig())
+
+        class MarkerPass(Pass):
+            name = "marker"
+
+            def run(self, state, context):
+                pass
+
+        manager.insert_after("select", MarkerPass())
+        assert manager.names()[1] == "marker"
+        manager.remove("marker")
+        assert "marker" not in manager.names()
+        with pytest.raises(PipelineError):
+            manager.remove("marker")
+
+    def test_custom_pass_runs(self, demo_result):
+        observed = []
+
+        class CountPass(Pass):
+            name = "count"
+
+            def run(self, state, context):
+                observed.append(len(state.all_instances()))
+
+        session = Session(demo_result)
+        session.pass_manager.insert_after("spill", CountPass())
+        session.compile("int a, b, d; d = a + b;")
+        assert observed and observed[0] > 0
+
+    def test_encode_pass_produces_encoding(self, demo_result):
+        session = Session(demo_result, config=PipelineConfig(encode=True))
+        compiled = session.compile("int a, b, d; d = a + b;")
+        assert compiled.encoding is not None
+        assert "IM" in compiled.encoding
+
+
+# ---------------------------------------------------------------------------
+# Session facade
+# ---------------------------------------------------------------------------
+
+
+class TestSession:
+    def test_for_target_compiles(self):
+        session = Toolchain.for_target("demo", use_cache=False)
+        compiled = session.compile("int a, b, d; d = a + b;")
+        assert compiled.processor == "demo"
+        assert compiled.code_size > 0
+
+    def test_compile_many_equivalent_to_sequential_legacy(self, tms_result):
+        kernels = [get_kernel(name).source for name in all_kernel_names()]
+        session = Session(tms_result)
+        batch = session.compile_many(kernels, names=all_kernel_names())
+        legacy = RecordCompiler(tms_result)
+        for name, compiled in zip(all_kernel_names(), batch):
+            reference = legacy.compile_source(get_kernel(name).source, name=name)
+            assert compiled.code_size == reference.code_size, name
+            assert compiled.spill_count == reference.spill_count, name
+            assert compiled.operation_count == reference.operation_count, name
+
+    def test_compile_many_name_mismatch_rejected(self, demo_result):
+        session = Session(demo_result)
+        with pytest.raises(ValueError):
+            session.compile_many(["int a; a = 1;"], names=["x", "y"])
+
+    def test_compile_accepts_ir_program(self, tms_result):
+        from repro.dspstone import kernel_program
+
+        session = Session(tms_result)
+        program = kernel_program("fir")
+        assert session.compile(program).code_size == session.compile_program(program).code_size
+
+    def test_compile_kernel(self, tms_result):
+        session = Session(tms_result)
+        compiled = session.compile_kernel("real_update")
+        assert compiled.code_size > 0
+
+    def test_reconfigured_shares_retarget_result(self, tms_result):
+        session = Session(tms_result)
+        restricted = session.reconfigured(PipelineConfig.preset("no-chained"))
+        assert restricted.retarget_result is session.retarget_result
+        full_size = session.compile_kernel("real_update").code_size
+        restricted_size = restricted.compile_kernel("real_update").code_size
+        assert restricted_size > full_size
+
+    def test_repeated_compiles_are_independent(self, demo_result):
+        """The pipeline must never corrupt shared selection state: mutating
+        one compile's output does not change the next compile."""
+        session = Session(demo_result)
+        source = "int a, b, c, d; d = c + a * b;"
+        first = session.compile(source)
+        baseline = (first.code_size, first.operation_count)
+        # vandalise the first result's statement codes and instance lists
+        for code in first.statement_codes:
+            code.instances.clear()
+        second = session.compile(source)
+        assert (second.code_size, second.operation_count) == baseline
+
+    def test_restricted_selector_memoized_across_compilers(self, tms_result):
+        options = CompilerOptions(allow_chained=False)
+        first = RecordCompiler(tms_result, options)
+        second = RecordCompiler(tms_result, CompilerOptions(allow_chained=False))
+        assert first._selector is second._selector
+        assert restricted_selector(tms_result, allow_chained=False) is first._selector
+        # the unrestricted selector is the retarget result's own
+        assert restricted_selector(tms_result) is tms_result.selector
+
+    def test_summary_reports_passes(self, demo_result):
+        summary = Session(demo_result).summary()
+        assert summary["processor"] == "demo"
+        assert "select" in summary["passes"]
+
+
+# ---------------------------------------------------------------------------
+# Retarget cache
+# ---------------------------------------------------------------------------
+
+
+class TestRetargetCache:
+    HDL = None  # filled lazily from the demo model
+
+    @pytest.fixture()
+    def demo_hdl(self):
+        return target_hdl_source("demo")
+
+    def test_cold_miss_then_warm_hit(self, tmp_path, demo_hdl):
+        cache = RetargetCache(directory=tmp_path)
+        result, hit = cache.get_or_retarget(demo_hdl, generate_matcher=False)
+        assert not hit
+        again, hit = cache.get_or_retarget(demo_hdl, generate_matcher=False)
+        assert hit
+        assert again is result
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_disk_persistence_across_instances(self, tmp_path, demo_hdl):
+        first = RetargetCache(directory=tmp_path)
+        original, hit = first.get_or_retarget(demo_hdl, generate_matcher=False)
+        assert not hit
+        second = RetargetCache(directory=tmp_path)
+        restored, hit = second.get_or_retarget(demo_hdl, generate_matcher=False)
+        assert hit
+        assert restored is not original  # unpickled copy
+        assert restored.processor == original.processor
+        assert restored.template_count == original.template_count
+        # the restored selector must actually work
+        session = Session(restored)
+        assert session.compile("int a, b, d; d = a + b;").code_size > 0
+
+    def test_hdl_change_invalidates(self, tmp_path, demo_hdl):
+        cache = RetargetCache(directory=tmp_path)
+        cache.get_or_retarget(demo_hdl, generate_matcher=False)
+        modified = demo_hdl + "\n-- a trailing comment\n"
+        _result, hit = cache.get_or_retarget(modified, generate_matcher=False)
+        assert not hit
+        assert cache.misses == 2
+
+    def test_option_change_invalidates(self, demo_hdl):
+        base = retarget_fingerprint(demo_hdl)
+        assert retarget_fingerprint(demo_hdl, max_depth=5) != base
+        assert retarget_fingerprint(demo_hdl + " ") != base
+        from repro.expansion import ExpansionOptions
+
+        no_expansion = ExpansionOptions(use_commutativity=False, use_rewrite_rules=False)
+        assert retarget_fingerprint(demo_hdl, expansion=no_expansion) != base
+
+    def test_matcher_regenerated_on_hit(self, tmp_path, demo_hdl):
+        writer = RetargetCache(directory=tmp_path)
+        writer.get_or_retarget(demo_hdl, generate_matcher=False)
+        reader = RetargetCache(directory=tmp_path)
+        result, hit = reader.get_or_retarget(demo_hdl, generate_matcher=True)
+        assert hit
+        assert result.matcher_module is not None
+        assert result.matcher_module.PROCESSOR == "demo"
+
+    def test_corrupt_disk_entry_degrades_to_miss(self, tmp_path, demo_hdl):
+        cache = RetargetCache(directory=tmp_path)
+        cache.get_or_retarget(demo_hdl, generate_matcher=False)
+        for entry in tmp_path.iterdir():
+            entry.write_bytes(b"not a pickle")
+        fresh = RetargetCache(directory=tmp_path)
+        _result, hit = fresh.get_or_retarget(demo_hdl, generate_matcher=False)
+        assert not hit
+
+    def test_memory_only_cache(self, demo_hdl):
+        cache = RetargetCache(directory=False)
+        assert cache.directory is None
+        cache.get_or_retarget(demo_hdl, generate_matcher=False)
+        _result, hit = cache.get_or_retarget(demo_hdl, generate_matcher=False)
+        assert hit
+        assert cache.stats()["disk_entries"] == 0
+
+    def test_clear(self, tmp_path, demo_hdl):
+        cache = RetargetCache(directory=tmp_path)
+        cache.get_or_retarget(demo_hdl, generate_matcher=False)
+        assert cache.clear() == 1
+        _result, hit = cache.get_or_retarget(demo_hdl, generate_matcher=False)
+        assert not hit
+
+    def test_retarget_result_pickle_drops_private_state(self, demo_result):
+        restricted_selector(demo_result, allow_chained=False)
+        assert "_restricted_selectors" in demo_result.__dict__
+        clone = pickle.loads(pickle.dumps(demo_result))
+        assert "_restricted_selectors" not in clone.__dict__
+        assert clone.matcher_module is None
+
+
+# ---------------------------------------------------------------------------
+# Diagnostics
+# ---------------------------------------------------------------------------
+
+
+class TestDiagnostics:
+    def test_hdl_errors_are_repro_errors(self):
+        from repro.hdl import parse_processor
+
+        with pytest.raises(ReproError) as excinfo:
+            parse_processor("processor broken\n$")
+        assert isinstance(excinfo.value, HdlParseError)
+        assert excinfo.value.phase == "hdl"
+        assert excinfo.value.location.line >= 1
+
+    def test_frontend_errors_are_repro_errors(self):
+        from repro.frontend import lower_to_program
+
+        with pytest.raises(ReproError) as excinfo:
+            lower_to_program("int a; a = $;")
+        assert isinstance(excinfo.value, SourceSyntaxError)
+        with pytest.raises(ReproError) as excinfo:
+            lower_to_program("int a; a = undeclared;")
+        assert isinstance(excinfo.value, LoweringError)
+        assert excinfo.value.phase == "frontend"
+
+    def test_selection_errors_are_repro_errors(self, demo_result):
+        from repro.codegen.selection import CodeGenerationError
+
+        session = Session(demo_result)
+        with pytest.raises(ReproError) as excinfo:
+            session.compile("int a, b, c; c = a / b;")  # demo has no divider
+        assert isinstance(excinfo.value, CodeGenerationError)
+
+    def test_source_location_formatting(self):
+        location = SourceLocation(line=3, column=7, filename="chip.hdl")
+        assert str(location) == "chip.hdl, line 3, column 7"
+        assert not SourceLocation()
+
+    def test_error_report(self):
+        error = TargetError("unknown target 'z80'")
+        report = error_report(error)
+        assert "TargetError" in report and "[target]" in report and "z80" in report
