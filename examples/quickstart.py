@@ -88,6 +88,18 @@ def main():
             )
         )
 
+    # -- step 6: the structured result API ------------------------------------
+    # Every compile returns an immutable CompilationResult: metrics, per-pass
+    # wall-clock timings, named views, and lossless JSON serialization.
+    print("\n== structured result ==")
+    print("metrics:", compiled.metrics.to_dict())
+    print("pass timings:", {k: round(v, 6) for k, v in compiled.pass_timings.items()})
+    trace = compiled.simulation_trace(environment)
+    print("simulation trace: %d step(s), final d=%d"
+          % (len(trace.steps), trace.final_environment["d"] & 0xFFFF))
+    round_tripped = type(compiled).from_json(compiled.to_json())
+    print("JSON round-trip lossless:", round_tripped.to_dict() == compiled.to_dict())
+
 
 if __name__ == "__main__":
     main()

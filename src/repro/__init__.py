@@ -49,12 +49,14 @@ experiments:
   kernels, the experiment baselines and the RT-level simulator.
 """
 
-from repro.diagnostics import ReproError, SourceLocation, TargetError
+from repro.diagnostics import Diagnostic, ReproError, SourceLocation, TargetError
 from repro.record.compiler import CompiledProgram, CompilerOptions, RecordCompiler
 from repro.record.retarget import RetargetResult, retarget
 from repro.targets.library import all_target_names, get_target, target_hdl_source
 from repro.dspstone.kernels import all_kernel_names, get_kernel, kernel_program
 from repro.toolchain import (
+    CompilationResult,
+    CompileMetrics,
     PipelineConfig,
     RetargetCache,
     Session,
@@ -63,18 +65,31 @@ from repro.toolchain import (
     default_registry,
     register_target,
 )
+from repro.service import (
+    CompileRequest,
+    CompileResponse,
+    CompileService,
+    SessionPool,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "CompilationResult",
+    "CompileMetrics",
+    "CompileRequest",
+    "CompileResponse",
+    "CompileService",
     "CompiledProgram",
     "CompilerOptions",
+    "Diagnostic",
     "PipelineConfig",
     "RecordCompiler",
     "ReproError",
     "RetargetCache",
     "RetargetResult",
     "Session",
+    "SessionPool",
     "SourceLocation",
     "TargetError",
     "TargetRegistry",

@@ -10,6 +10,9 @@ Usage (also available as ``python -m repro ...``)::
     python -m repro compile tms320c25 prog.c     # compile a source file
     python -m repro compile tms320c25 --kernel fir --baseline --binary
     python -m repro compile tms320c25 --kernel fir --preset no-chained
+    python -m repro compile tms320c25 --kernel fir --json --timings
+    python -m repro batch jobs.jsonl             # concurrent batch service
+    python -m repro batch - --jobs 4 < jobs.jsonl
     python -m repro cache                        # retarget-cache statistics
     python -m repro cache --clear
     python -m repro table3                       # print table 3
@@ -26,6 +29,7 @@ runs the configured pass pipeline (``--preset`` selects an ablation).
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import List, Optional
@@ -34,7 +38,11 @@ from repro.baselines import hand_reference_size
 from repro.diagnostics import ReproError, error_report
 from repro.dspstone import all_kernel_names, get_kernel
 from repro.grammar import grammar_to_bnf
-from repro.record.report import format_processor_class_report, retargeting_report
+from repro.record.report import (
+    compilation_report,
+    format_processor_class_report,
+    retargeting_report,
+)
 from repro.toolchain import (
     PRESETS,
     PipelineConfig,
@@ -123,6 +131,9 @@ def _cmd_compile(args) -> int:
         compiled = session.compile(source, name=name)
     except ReproError as error:
         raise SystemExit("error: %s" % error_report(error))
+    if args.json:
+        print(compiled.to_json(indent=2))
+        return 0
     print(compiled.listing())
     print("code size: %d instruction words (%d RT operations, %d spills)" % (
         compiled.code_size, compiled.operation_count, compiled.spill_count))
@@ -130,10 +141,61 @@ def _cmd_compile(args) -> int:
         hand = hand_reference_size(args.kernel)
         print("relative to hand-written reference (%d words): %.0f%%" % (
             hand, 100.0 * compiled.code_size / hand))
+    if args.timings:
+        print()
+        print(compilation_report(compiled))
     if args.binary:
         print("\nbinary encoding (dash = don't-care bit):")
         print(compiled.encoding)
     return 0
+
+
+def _cmd_batch(args) -> int:
+    """Run a JSON-lines job file through the concurrent compile service."""
+    from repro.service import CompileService, SessionPool
+    from repro.toolchain import Toolchain
+
+    if args.jobs_file == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        try:
+            with open(args.jobs_file, "r") as handle:
+                lines = handle.read().splitlines()
+        except OSError as error:
+            raise SystemExit("error: cannot read %r: %s" % (args.jobs_file, error))
+    jobs = []
+    for number, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            jobs.append(json.loads(line))
+        except ValueError as error:
+            # Keep the batch alive: a malformed line becomes a job dict the
+            # service will turn into a structured error response.
+            jobs.append({"_malformed": "line %d: %s" % (number, error)})
+    pool = SessionPool(toolchain=Toolchain(cache=_cache_from_args(args)))
+    service = CompileService(pool=pool, max_workers=args.jobs)
+    responses = service.run_batch_dicts(jobs)
+    output = sys.stdout
+    close_output = False
+    if args.output and args.output != "-":
+        try:
+            output = open(args.output, "w")
+        except OSError as error:
+            raise SystemExit("error: cannot write %r: %s" % (args.output, error))
+        close_output = True
+    try:
+        for response in responses:
+            output.write(
+                response.to_json(include_result=not args.no_results) + "\n"
+            )
+    finally:
+        if close_output:
+            output.close()
+    if args.stats:
+        print(json.dumps(service.stats(), indent=2), file=sys.stderr)
+    return 0 if all(response.ok for response in responses) else 1
 
 
 def _cmd_cache(args) -> int:
@@ -225,7 +287,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="pipeline preset (ablations of the paper's experiments)",
     )
     compile_parser.add_argument("--binary", action="store_true", help="also print the binary instruction encoding")
+    compile_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the structured CompilationResult as JSON instead of text",
+    )
+    compile_parser.add_argument(
+        "--timings", action="store_true",
+        help="print per-pass wall-clock timings and diagnostics",
+    )
     _add_cache_flags(compile_parser)
+
+    batch_parser = subparsers.add_parser(
+        "batch",
+        help="run a JSON-lines job file through the concurrent compile service",
+        description="Each input line is a JSON object: "
+        '{"target": "tms320c25", "kernel": "fir"} or '
+        '{"target": "demo", "source": "int a, b; b = a + 1;", "name": "inc", '
+        '"preset": "no-chained", "request_id": "job-1"}. '
+        "One JSON response line is emitted per job, in input order; a "
+        "failing job yields a structured error response and never kills "
+        "the batch.",
+    )
+    batch_parser.add_argument("jobs_file", help="JSON-lines job file ('-' for stdin)")
+    batch_parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker threads (default: min(batch size, 8))",
+    )
+    batch_parser.add_argument(
+        "--output", "-o", metavar="FILE",
+        help="write response lines to FILE instead of stdout",
+    )
+    batch_parser.add_argument(
+        "--no-results", action="store_true",
+        help="omit the embedded CompilationResult from responses (status only)",
+    )
+    batch_parser.add_argument(
+        "--stats", action="store_true",
+        help="print service/pool statistics to stderr after the batch",
+    )
+    _add_cache_flags(batch_parser)
 
     cache_parser = subparsers.add_parser("cache", help="inspect or clear the retarget cache")
     cache_parser.add_argument("--clear", action="store_true", help="remove every cached retarget result")
@@ -251,6 +351,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_retarget(args)
     if args.command == "compile":
         return _cmd_compile(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "table3":

@@ -103,6 +103,41 @@ class CacheError(ReproError):
     phase = "cache"
 
 
+class ResultError(ReproError):
+    """A compilation-result artifact was requested that the result does
+    not carry (e.g. live IR objects on a deserialized result)."""
+
+    phase = "result"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured, non-fatal message attached to a compilation result.
+
+    ``severity`` is ``"note"``, ``"warning"`` or ``"error"``; ``phase``
+    names the pass or pipeline stage that emitted the message.
+    """
+
+    severity: str
+    message: str
+    phase: str = ""
+
+    def to_dict(self) -> dict:
+        return {"severity": self.severity, "message": self.message, "phase": self.phase}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        return cls(
+            severity=data["severity"],
+            message=data["message"],
+            phase=data.get("phase", ""),
+        )
+
+    def __str__(self) -> str:
+        origin = " [%s]" % self.phase if self.phase else ""
+        return "%s%s: %s" % (self.severity, origin, self.message)
+
+
 def error_report(error: ReproError) -> str:
     """A one-line, human-readable report of a structured error."""
     kind = type(error).__name__

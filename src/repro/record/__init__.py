@@ -20,7 +20,11 @@ from repro.record.compiler import (
     RecordCompiler,
     restricted_selector,
 )
-from repro.record.report import processor_class_report, retargeting_report
+from repro.record.report import (
+    compilation_report,
+    processor_class_report,
+    retargeting_report,
+)
 
 __all__ = [
     "CompiledProgram",
@@ -28,6 +32,7 @@ __all__ = [
     "PhaseTimings",
     "RecordCompiler",
     "RetargetResult",
+    "compilation_report",
     "processor_class_report",
     "restricted_selector",
     "retarget",

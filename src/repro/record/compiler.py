@@ -2,28 +2,31 @@
 
 .. deprecated::
     :class:`RecordCompiler` and :class:`CompilerOptions` are kept as thin
-    shims over the session/pipeline API in :mod:`repro.toolchain`; new
-    code should use :class:`repro.toolchain.Toolchain` /
+    shims over the session/pipeline API in :mod:`repro.toolchain`, and
+    :class:`CompiledProgram` is a shim over
+    :class:`repro.toolchain.results.CompilationResult`; new code should
+    use :class:`repro.toolchain.Toolchain` /
     :class:`repro.toolchain.Session` with a
     :class:`repro.toolchain.PipelineConfig`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
 
 from repro.codegen.compaction import InstructionWord, code_size
-from repro.codegen.emitter import format_listing
 from repro.codegen.selection import RTInstance, StatementCode
 from repro.codegen.spill import count_spills
 from repro.frontend.lowering import lower_to_program
-from repro.grammar.construct import build_tree_grammar
 from repro.ir.binding import ResourceBinding
 from repro.ir.program import Program
-from repro.ise.templates import RTTemplateBase
 from repro.record.retarget import RetargetResult
-from repro.selector.burs import CodeSelector
+
+# Re-exported for backwards compatibility: restricted_selector moved to
+# the toolchain package (the session layer is now below this module).
+from repro.toolchain.selectors import restricted_selector  # noqa: F401
+from repro.toolchain.results import CompilationResult, CompileMetrics
 
 
 @dataclass
@@ -48,74 +51,53 @@ class CompilerOptions:
     use_compaction: bool = True
 
 
-@dataclass
-class CompiledProgram:
-    """The result of compiling one program for one target."""
+class CompiledProgram(CompilationResult):
+    """The result of compiling one program for one target.
 
-    program: Program
-    processor: str
-    statement_codes: List[StatementCode] = field(default_factory=list)
-    instances: List[RTInstance] = field(default_factory=list)
-    words: List[InstructionWord] = field(default_factory=list)
-    binding: Optional[ResourceBinding] = None
-    # Binary instruction encoding, when the pipeline ran the encode pass.
-    encoding: Optional[str] = None
-
-    @property
-    def code_size(self) -> int:
-        """Number of instruction words (the metric of figure 2)."""
-        return code_size(self.words)
-
-    @property
-    def operation_count(self) -> int:
-        """Number of RT operations before compaction (incl. spill code)."""
-        return len(self.instances)
-
-    @property
-    def spill_count(self) -> int:
-        return count_spills(self.instances)
-
-    @property
-    def selection_cost(self) -> int:
-        return sum(code.cost for code in self.statement_codes)
-
-    def listing(self) -> str:
-        return format_listing(self.words, title="%s on %s" % (self.program.name, self.processor))
-
-
-def restricted_selector(
-    retarget_result: RetargetResult,
-    allow_chained: bool = True,
-    use_expanded_templates: bool = True,
-) -> CodeSelector:
-    """The code selector for a (possibly restricted) template base.
-
-    Dropping chained templates models conventional code generators that
-    only know single-operation instructions; dropping expansion-derived
-    templates disables the commutativity / rewrite-rule search space.
-
-    Restricted grammars are memoized *on the retarget result*, so every
-    compiler/session sharing one result also shares one selector per
-    restriction -- ablation sweeps stop paying repeated grammar
-    construction.  (The memo lives in a ``_``-prefixed attribute, which
-    the retarget cache deliberately does not pickle.)
+    .. deprecated::
+        Shim over :class:`repro.toolchain.results.CompilationResult`.
+        The legacy constructor signature (program, processor, statement
+        codes, instances, words, binding, encoding) still works and every
+        legacy attribute reads bit-identically; sessions now return
+        :class:`CompilationResult` directly, which is a superset of this
+        interface.
     """
-    if allow_chained and use_expanded_templates:
-        return retarget_result.selector
-    memo = retarget_result.__dict__.setdefault("_restricted_selectors", {})
-    key = (allow_chained, use_expanded_templates)
-    if key not in memo:
-        base = retarget_result.template_base
-        restricted = RTTemplateBase(processor=base.processor)
-        for template in base:
-            if not allow_chained and template.is_chained():
-                continue
-            if not use_expanded_templates and template.origin != "extracted":
-                continue
-            restricted.add(template)
-        grammar = build_tree_grammar(retarget_result.netlist, restricted)
-        memo[key] = CodeSelector(grammar)
-    return memo[key]
+
+    def __init__(
+        self,
+        program: Program,
+        processor: str,
+        statement_codes: Optional[Iterable[StatementCode]] = None,
+        instances: Optional[Iterable[RTInstance]] = None,
+        words: Optional[Iterable[InstructionWord]] = None,
+        binding: Optional[ResourceBinding] = None,
+        encoding: Optional[str] = None,
+    ):
+        codes = tuple(statement_codes or ())
+        word_list = tuple(words or ())
+        if instances is None:
+            instance_list = [inst for code in codes for inst in code.instances]
+        else:
+            instance_list = list(instances)
+        metrics = CompileMetrics(
+            code_size=code_size(list(word_list)),
+            operation_count=len(instance_list),
+            spill_count=count_spills(instance_list),
+            selection_cost=sum(code.cost for code in codes),
+            statement_count=len(codes),
+            compile_time_s=0.0,
+        )
+        CompilationResult.__init__(
+            self,
+            name=program.name,
+            processor=processor,
+            metrics=metrics,
+            program=program,
+            statement_codes=codes,
+            words=word_list,
+            binding=binding,
+            encoding=encoding,
+        )
 
 
 class RecordCompiler:
@@ -132,8 +114,9 @@ class RecordCompiler:
         retarget_result: RetargetResult,
         options: Optional[CompilerOptions] = None,
     ):
-        # Imported here (not at module level): repro.toolchain builds on
-        # this module, and this legacy shim builds on repro.toolchain.
+        # Imported here (not at module level): this legacy shim builds on
+        # the full repro.toolchain package, which also re-exports pieces
+        # of this module.
         from repro.toolchain.passes import PipelineConfig
         from repro.toolchain.session import Session
 
@@ -146,7 +129,7 @@ class RecordCompiler:
 
     # -- construction ------------------------------------------------------------
 
-    def _build_selector(self) -> CodeSelector:
+    def _build_selector(self):
         return restricted_selector(
             self.retarget_result,
             allow_chained=self.options.allow_chained,
@@ -159,7 +142,7 @@ class RecordCompiler:
         self,
         program: Program,
         binding_overrides: Optional[Dict[str, str]] = None,
-    ) -> CompiledProgram:
+    ) -> CompilationResult:
         """Compile an IR program (a straight-line basic block per block)."""
         return self._session.compile_program(
             program, binding_overrides=binding_overrides
@@ -170,7 +153,7 @@ class RecordCompiler:
         source_text: str,
         name: str = "program",
         binding_overrides: Optional[Dict[str, str]] = None,
-    ) -> CompiledProgram:
+    ) -> CompilationResult:
         """Parse, lower and compile a source program."""
         program = lower_to_program(source_text, name=name)
         return self.compile_program(program, binding_overrides=binding_overrides)

@@ -14,6 +14,31 @@ from repro.ise.templates import RegLeaf, pattern_leaves
 from repro.record.retarget import RetargetResult
 
 
+def compilation_report(result) -> str:
+    """A multi-line summary of one compilation: the metrics block plus the
+    per-pass wall-clock timings recorded by the pass manager (the
+    compile-side analogue of :func:`retargeting_report`).
+
+    ``result`` is a :class:`repro.toolchain.results.CompilationResult`
+    (live or detached -- both carry metrics and timings).
+    """
+    metrics = result.metrics
+    lines: List[str] = []
+    lines.append("Compilation report for %r on %r" % (result.name, result.processor))
+    lines.append("-" * 60)
+    lines.append("code size:        %5d instruction words" % metrics.code_size)
+    lines.append("RT operations:    %5d (%d spills)"
+                 % (metrics.operation_count, metrics.spill_count))
+    lines.append("selection cost:   %5d over %d statement(s)"
+                 % (metrics.selection_cost, metrics.statement_count))
+    lines.append("compile time:     %8.6f s total" % metrics.compile_time_s)
+    for pass_name, seconds in result.pass_timings.items():
+        lines.append("    %-18s %10.6f s" % (pass_name, seconds))
+    for diagnostic in result.diagnostics:
+        lines.append(str(diagnostic))
+    return "\n".join(lines) + "\n"
+
+
 def retargeting_report(result: RetargetResult) -> str:
     """A multi-line summary of one retargeting run."""
     stats = result.netlist.stats()

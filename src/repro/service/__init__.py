@@ -1,0 +1,42 @@
+"""The concurrent compile service: batch compilation as a service layer.
+
+This package turns the session API of :mod:`repro.toolchain` into a
+traffic-serving surface:
+
+* :class:`CompileRequest` / :class:`CompileResponse`
+  (:mod:`repro.service.api`) -- the JSON-friendly request/response
+  envelope.  A response embeds a structured
+  :class:`~repro.toolchain.results.CompilationResult` on success and a
+  structured :class:`ErrorInfo` on failure;
+* :class:`SessionPool` (:mod:`repro.service.pool`) -- thread-safe pooling
+  of :class:`~repro.toolchain.Session` objects keyed by
+  ``(target, pipeline config)``, so retargeting and selector setup are
+  paid once per distinct key, not once per request;
+* :class:`CompileService` (:mod:`repro.service.service`) -- concurrent,
+  fault-isolated batch execution on a thread pool.  A failing request
+  yields an error response; it never kills the batch.
+
+Typical usage::
+
+    from repro.service import CompileRequest, CompileService
+
+    service = CompileService()
+    responses = service.run_batch([
+        CompileRequest(target="tms320c25", kernel="fir"),
+        CompileRequest(target="demo", source="int a, b; b = a + 1;"),
+    ])
+    for response in responses:
+        print(response.to_json())
+"""
+
+from repro.service.api import CompileRequest, CompileResponse, ErrorInfo
+from repro.service.pool import SessionPool
+from repro.service.service import CompileService
+
+__all__ = [
+    "CompileRequest",
+    "CompileResponse",
+    "CompileService",
+    "ErrorInfo",
+    "SessionPool",
+]

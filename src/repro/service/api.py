@@ -1,0 +1,205 @@
+"""Request/response envelopes of the compile service.
+
+Both dataclasses are JSON-first: :meth:`CompileRequest.from_dict` accepts
+one decoded JSON-lines job object, :meth:`CompileResponse.to_dict`
+produces one JSON-lines result object.  The embedded compilation result
+uses the lossless serialization of
+:class:`repro.toolchain.results.CompilationResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.diagnostics import ReproError
+from repro.toolchain.passes import PipelineConfig
+from repro.toolchain.results import CompilationResult
+
+
+class RequestError(ReproError):
+    """A malformed compile request (missing/conflicting fields)."""
+
+    phase = "service"
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    """Structured description of one failed request."""
+
+    type: str
+    message: str
+    phase: str = ""
+
+    def to_dict(self) -> dict:
+        return {"type": self.type, "message": self.message, "phase": self.phase}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ErrorInfo":
+        return cls(
+            type=data["type"], message=data["message"], phase=data.get("phase", "")
+        )
+
+    @classmethod
+    def from_exception(cls, error: BaseException) -> "ErrorInfo":
+        return cls(
+            type=type(error).__name__,
+            message=str(error),
+            phase=getattr(error, "phase", "") or "",
+        )
+
+
+@dataclass(frozen=True)
+class CompileRequest:
+    """One compilation job.
+
+    Exactly one of ``source`` (program text) or ``kernel`` (a DSPStone
+    kernel name) must be set.  ``preset`` selects a named pipeline
+    ablation; ``config`` pins an explicit :class:`PipelineConfig`
+    (mutually exclusive with ``preset``).  ``request_id`` is echoed back
+    in the response so callers can correlate out-of-order streams.
+    """
+
+    target: str
+    source: Optional[str] = None
+    kernel: Optional[str] = None
+    name: Optional[str] = None
+    preset: Optional[str] = None
+    config: Optional[PipelineConfig] = None
+    binding_overrides: Dict[str, str] = field(default_factory=dict)
+    request_id: Optional[str] = None
+
+    def validate(self) -> None:
+        if not self.target:
+            raise RequestError("compile request needs a target")
+        if (self.source is None) == (self.kernel is None):
+            raise RequestError(
+                "compile request needs exactly one of source= or kernel= "
+                "(got %s)" % ("both" if self.source is not None else "neither")
+            )
+        if self.preset is not None and self.config is not None:
+            raise RequestError("pass either preset= or config=, not both")
+
+    def resolved_config(self) -> PipelineConfig:
+        """The pipeline config this request asks for (presets resolved)."""
+        if self.config is not None:
+            return self.config
+        if self.preset is not None:
+            return PipelineConfig.preset(self.preset)
+        return PipelineConfig()
+
+    def display_name(self, index: int = 0) -> str:
+        if self.name:
+            return self.name
+        if self.kernel:
+            return self.kernel
+        return "request%d" % index
+
+    def to_dict(self) -> dict:
+        data: dict = {"target": self.target}
+        if self.source is not None:
+            data["source"] = self.source
+        if self.kernel is not None:
+            data["kernel"] = self.kernel
+        if self.name is not None:
+            data["name"] = self.name
+        if self.preset is not None:
+            data["preset"] = self.preset
+        if self.config is not None:
+            data["config"] = self.config.to_dict()
+        if self.binding_overrides:
+            data["binding_overrides"] = dict(self.binding_overrides)
+        if self.request_id is not None:
+            data["request_id"] = self.request_id
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompileRequest":
+        """Build a request from one decoded JSON-lines job object."""
+        if not isinstance(data, dict):
+            raise RequestError("compile request must be a JSON object")
+        if "_malformed" in data:
+            # Placeholder injected by batch front-ends (the CLI) for job
+            # lines that failed to decode; surface the original error.
+            raise RequestError("malformed job: %s" % data["_malformed"])
+        known = {
+            "target",
+            "source",
+            "kernel",
+            "name",
+            "preset",
+            "config",
+            "binding_overrides",
+            "request_id",
+        }
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise RequestError(
+                "unknown compile-request field(s): %s" % ", ".join(unknown)
+            )
+        config = data.get("config")
+        request = cls(
+            target=data.get("target", ""),
+            source=data.get("source"),
+            kernel=data.get("kernel"),
+            name=data.get("name"),
+            preset=data.get("preset"),
+            config=None if config is None else PipelineConfig.from_dict(config),
+            binding_overrides=dict(data.get("binding_overrides") or {}),
+            request_id=data.get("request_id"),
+        )
+        request.validate()
+        return request
+
+
+@dataclass(frozen=True)
+class CompileResponse:
+    """The outcome of one :class:`CompileRequest`.
+
+    ``ok`` responses carry a live :class:`CompilationResult`; failed ones
+    carry an :class:`ErrorInfo`.  ``elapsed_s`` is the wall-clock service
+    time of the request (session lookup + compilation), which is what the
+    throughput benchmark aggregates.
+    """
+
+    target: str
+    name: str
+    ok: bool
+    result: Optional[CompilationResult] = None
+    error: Optional[ErrorInfo] = None
+    request_id: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    def to_dict(self, include_result: bool = True) -> dict:
+        data: dict = {
+            "target": self.target,
+            "name": self.name,
+            "ok": self.ok,
+            "elapsed_s": self.elapsed_s,
+        }
+        if self.request_id is not None:
+            data["request_id"] = self.request_id
+        if self.ok and self.result is not None and include_result:
+            data["result"] = self.result.to_dict()
+        if not self.ok and self.error is not None:
+            data["error"] = self.error.to_dict()
+        return data
+
+    def to_json(self, include_result: bool = True, indent: Optional[int] = None) -> str:
+        import json
+
+        return json.dumps(self.to_dict(include_result=include_result), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompileResponse":
+        result = data.get("result")
+        error = data.get("error")
+        return cls(
+            target=data["target"],
+            name=data["name"],
+            ok=data["ok"],
+            result=None if result is None else CompilationResult.from_dict(result),
+            error=None if error is None else ErrorInfo.from_dict(error),
+            request_id=data.get("request_id"),
+            elapsed_s=data.get("elapsed_s", 0.0),
+        )

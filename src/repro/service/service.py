@@ -1,0 +1,175 @@
+"""The concurrent, fault-isolated compile service.
+
+:class:`CompileService` executes batches of :class:`CompileRequest`
+objects on a thread pool.  Requests sharing a ``(target, config)`` key
+reuse one pooled session (see :class:`~repro.service.pool.SessionPool`);
+requests on distinct targets retarget concurrently.  Every failure mode
+-- malformed request, unknown target, uncoverable statement, even an
+unexpected internal exception -- is captured as a structured error
+response for *that* request; a batch always returns one response per
+request, in input order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, List, Optional
+
+from repro.service.api import CompileRequest, CompileResponse, ErrorInfo
+from repro.service.pool import SessionPool
+
+#: Upper bound on worker threads when the caller does not pin one.
+DEFAULT_MAX_WORKERS = 8
+
+
+class CompileService:
+    """Serve compile requests over a shared :class:`SessionPool`."""
+
+    def __init__(
+        self,
+        pool: Optional[SessionPool] = None,
+        max_workers: Optional[int] = None,
+    ):
+        self.pool = pool if pool is not None else SessionPool()
+        self.max_workers = max_workers
+        self.completed = 0
+        self.failed = 0
+        self._counter_lock = threading.Lock()
+
+    # -- single requests ---------------------------------------------------------
+
+    def run(self, request: CompileRequest, index: int = 0) -> CompileResponse:
+        """Execute one request; never raises (errors become responses)."""
+        started = time.perf_counter()
+        name = ""
+        try:
+            request.validate()
+            name = request.display_name(index)
+            config = request.resolved_config()
+            session = self.pool.session(request.target, config)
+            overrides = dict(request.binding_overrides) or None
+            if request.kernel is not None:
+                program_source = self._kernel_program(request.kernel)
+                result = session.compile(
+                    program_source, name=request.name, binding_overrides=overrides
+                )
+            else:
+                result = session.compile(
+                    request.source, name=name, binding_overrides=overrides
+                )
+            response = CompileResponse(
+                target=request.target,
+                name=result.name,
+                ok=True,
+                result=result,
+                request_id=request.request_id,
+                elapsed_s=time.perf_counter() - started,
+            )
+            with self._counter_lock:
+                self.completed += 1
+            return response
+        except Exception as error:  # fault isolation: one bad request,
+            with self._counter_lock:  # one error response, never a dead batch
+                self.failed += 1
+            return CompileResponse(
+                target=request.target,
+                name=name or request.display_name(index),
+                ok=False,
+                error=ErrorInfo.from_exception(error),
+                request_id=request.request_id,
+                elapsed_s=time.perf_counter() - started,
+            )
+
+    @staticmethod
+    def _kernel_program(kernel_name: str):
+        from repro.dspstone import kernel_program
+
+        return kernel_program(kernel_name)
+
+    # -- batches -----------------------------------------------------------------
+
+    def run_batch(
+        self,
+        requests: Iterable[CompileRequest],
+        max_workers: Optional[int] = None,
+        indices: Optional[List[int]] = None,
+    ) -> List[CompileResponse]:
+        """Execute a batch concurrently; one response per request, in
+        input order.
+
+        The thread count defaults to ``min(len(batch),
+        DEFAULT_MAX_WORKERS)``.  Threads overlap the expensive, largely
+        independent per-key session construction (retargeting of distinct
+        targets) and keep the pipeline busy while other requests wait on
+        session locks.  ``indices`` overrides the positional indices used
+        for default request names (so callers submitting a filtered
+        subset keep the original positions).
+        """
+        request_list = list(requests)
+        if not request_list:
+            return []
+        if indices is None:
+            indices = list(range(len(request_list)))
+        elif len(indices) != len(request_list):
+            raise ValueError(
+                "got %d indices for %d requests" % (len(indices), len(request_list))
+            )
+        workers = max_workers or self.max_workers or DEFAULT_MAX_WORKERS
+        workers = max(1, min(workers, len(request_list)))
+        if workers == 1:
+            return [
+                self.run(request, index)
+                for index, request in zip(indices, request_list)
+            ]
+        with ThreadPoolExecutor(max_workers=workers) as executor:
+            futures = [
+                executor.submit(self.run, request, index)
+                for index, request in zip(indices, request_list)
+            ]
+            return [future.result() for future in futures]
+
+    def run_batch_dicts(
+        self,
+        jobs: Iterable[dict],
+        max_workers: Optional[int] = None,
+    ) -> List[CompileResponse]:
+        """Like :meth:`run_batch` for decoded JSON job objects (the CLI's
+        ``repro batch`` path).  Malformed job objects become error
+        responses at their position instead of aborting the batch."""
+        requests: List[Optional[CompileRequest]] = []
+        errors: dict = {}
+        for index, job in enumerate(jobs):
+            try:
+                requests.append(CompileRequest.from_dict(job))
+            except Exception as error:
+                requests.append(None)
+                errors[index] = CompileResponse(
+                    target=str(job.get("target", "") if isinstance(job, dict) else ""),
+                    name="request%d" % index,
+                    ok=False,
+                    error=ErrorInfo.from_exception(error),
+                    request_id=(
+                        job.get("request_id") if isinstance(job, dict) else None
+                    ),
+                )
+        valid = [(i, r) for i, r in enumerate(requests) if r is not None]
+        responses = self.run_batch(
+            [r for _i, r in valid],
+            max_workers=max_workers,
+            indices=[i for i, _r in valid],
+        )
+        ordered: List[CompileResponse] = [None] * len(requests)  # type: ignore[list-item]
+        for (index, _request), response in zip(valid, responses):
+            ordered[index] = response
+        for index, response in errors.items():
+            ordered[index] = response
+        return ordered
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        stats = {"completed": self.completed, "failed": self.failed}
+        stats.update({"pool_%s" % k: v for k, v in self.pool.stats().items()})
+        return stats

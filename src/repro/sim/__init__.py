@@ -6,6 +6,20 @@ code computes exactly the same values as the reference execution of the IR
 basic block -- the key end-to-end correctness invariant of the compiler.
 """
 
-from repro.sim.rtsim import RTSimulator, SimulationError, simulate_statement_code
+from repro.sim.rtsim import (
+    RTSimulator,
+    SimulationError,
+    SimulationTrace,
+    TraceStep,
+    simulate_statement_code,
+    trace_execution,
+)
 
-__all__ = ["RTSimulator", "SimulationError", "simulate_statement_code"]
+__all__ = [
+    "RTSimulator",
+    "SimulationError",
+    "SimulationTrace",
+    "TraceStep",
+    "simulate_statement_code",
+    "trace_execution",
+]

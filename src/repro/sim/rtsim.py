@@ -11,6 +11,7 @@ of chained templates.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.codegen.selection import RTInstance, StatementCode
@@ -116,6 +117,75 @@ def simulate_statement_code(
     """Execute the code of a block and return the final environment."""
     simulator = RTSimulator(environment)
     return simulator.run_block_code(codes)
+
+
+# ---------------------------------------------------------------------------
+# Structured execution traces
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TraceStep:
+    """The simulation record of one statement's RT sequence."""
+
+    statement: str
+    operations: List[str]
+    environment: Dict[str, int]
+
+    def to_dict(self) -> dict:
+        return {
+            "statement": self.statement,
+            "operations": list(self.operations),
+            "environment": dict(self.environment),
+        }
+
+
+@dataclass(frozen=True)
+class SimulationTrace:
+    """A step-by-step simulation record of a whole block's code.
+
+    One :class:`TraceStep` per statement (its source text, the executed
+    RT operations, the environment snapshot after the statement) plus the
+    final environment -- the machine-readable view behind
+    :meth:`repro.toolchain.results.CompilationResult.simulation_trace`.
+    """
+
+    steps: List[TraceStep] = field(default_factory=list)
+    initial_environment: Dict[str, int] = field(default_factory=dict)
+    final_environment: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "initial_environment": dict(self.initial_environment),
+            "steps": [step.to_dict() for step in self.steps],
+            "final_environment": dict(self.final_environment),
+        }
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def trace_execution(
+    codes: List[StatementCode], environment: Dict[str, int]
+) -> SimulationTrace:
+    """Simulate a block's code, recording a per-statement trace."""
+    simulator = RTSimulator(environment)
+    initial = dict(simulator.environment)
+    steps: List[TraceStep] = []
+    for code in codes:
+        simulator.run_statement(code)
+        steps.append(
+            TraceStep(
+                statement=str(code.statement),
+                operations=[instance.describe() for instance in code.instances],
+                environment=dict(simulator.environment),
+            )
+        )
+    return SimulationTrace(
+        steps=steps,
+        initial_environment=initial,
+        final_environment=dict(simulator.environment),
+    )
 
 
 def reference_execution(block: BasicBlock, environment: Dict[str, int]) -> Dict[str, int]:

@@ -24,8 +24,10 @@ a shim over this package (see ``docs/API.md`` for migration notes).
 
 from repro.diagnostics import (
     CacheError,
+    Diagnostic,
     PipelineError,
     ReproError,
+    ResultError,
     RetargetError,
     SourceLocation,
     TargetError,
@@ -57,12 +59,22 @@ from repro.toolchain.registry import (
     default_registry,
     register_target,
 )
+from repro.toolchain.results import (
+    RESULT_SCHEMA_VERSION,
+    CompilationResult,
+    CompileMetrics,
+    StatementArtifact,
+)
+from repro.toolchain.selectors import restricted_selector
 from repro.toolchain.session import Session, Toolchain
 
 __all__ = [
     "CacheError",
     "CompactionPass",
+    "CompilationResult",
     "CompilationState",
+    "CompileMetrics",
+    "Diagnostic",
     "EncodingPass",
     "PRESETS",
     "Pass",
@@ -70,7 +82,9 @@ __all__ = [
     "PassManager",
     "PipelineConfig",
     "REGISTRY",
+    "RESULT_SCHEMA_VERSION",
     "ReproError",
+    "ResultError",
     "RetargetCache",
     "RetargetError",
     "PipelineError",
@@ -79,6 +93,7 @@ __all__ = [
     "Session",
     "SourceLocation",
     "SpillPass",
+    "StatementArtifact",
     "TargetError",
     "TargetRegistry",
     "TargetSpec",
@@ -88,5 +103,6 @@ __all__ = [
     "default_registry",
     "error_report",
     "register_target",
+    "restricted_selector",
     "retarget_fingerprint",
 ]

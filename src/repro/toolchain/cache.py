@@ -110,6 +110,8 @@ class RetargetCache:
                 with open(path, "rb") as handle:
                     result = pickle.load(handle)
             except Exception:
+                # Corrupt or truncated entry: discard it and fall back to
+                # a miss (the caller re-retargets and put() overwrites).
                 try:
                     os.remove(path)
                 except OSError:
@@ -118,6 +120,12 @@ class RetargetCache:
             if isinstance(result, RetargetResult):
                 self._memory[key] = result
                 return result
+            # Unpicklable-into-the-right-type (format skew, foreign file
+            # under our key): treat exactly like corruption.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
         return None
 
     def put(self, key: str, result: RetargetResult) -> None:

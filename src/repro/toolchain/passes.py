@@ -12,14 +12,15 @@ paper are available as named presets (:data:`PRESETS`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import time
+from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional
 
 from repro.codegen.compaction import InstructionWord, compact
 from repro.codegen.schedule import schedule_instances
 from repro.codegen.selection import RTInstance, StatementCode, select_statement
 from repro.codegen.spill import insert_spills
-from repro.diagnostics import PipelineError
+from repro.diagnostics import Diagnostic, PipelineError
 from repro.ir.binding import ResourceBinding
 from repro.ir.program import Program
 from repro.selector.burs import CodeSelector
@@ -63,6 +64,15 @@ class PipelineConfig:
 
     def with_updates(self, **changes) -> "PipelineConfig":
         return replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, bool]:
+        """The config as a plain dict (the serialized form used by
+        :meth:`repro.toolchain.results.CompilationResult.to_dict`)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, bool]) -> "PipelineConfig":
+        return cls(**data)
 
     @classmethod
     def preset(cls, name: str) -> "PipelineConfig":
@@ -138,12 +148,26 @@ class CompilationState:
     Passes own every object in here -- :class:`SelectionPass` copies the
     selector's output instead of aliasing it, so later passes may rebind
     freely without corrupting cached selection results.
+
+    ``pass_timings`` maps pass name to wall-clock seconds (filled in by
+    :meth:`PassManager.run`, in pipeline order); ``diagnostics`` collects
+    structured non-fatal messages emitted by passes.  Both flow into the
+    :class:`~repro.toolchain.results.CompilationResult`.
     """
 
     program: Program
     statement_codes: List[StatementCode] = field(default_factory=list)
     words: List[InstructionWord] = field(default_factory=list)
     encoding: Optional[str] = None
+    pass_timings: Dict[str, float] = field(default_factory=dict)
+    diagnostics: List["Diagnostic"] = field(default_factory=list)
+
+    def add_diagnostic(
+        self, severity: str, message: str, phase: str = ""
+    ) -> None:
+        self.diagnostics.append(
+            Diagnostic(severity=severity, message=message, phase=phase)
+        )
 
     def all_instances(self) -> List[RTInstance]:
         instances: List[RTInstance] = []
@@ -212,8 +236,17 @@ class SpillPass(Pass):
     name = "spill"
 
     def run(self, state: CompilationState, context: PassContext) -> None:
+        before = len(state.all_instances())
         for code in state.statement_codes:
             code.instances = insert_spills(code.instances, context.spill_storage)
+        inserted = len(state.all_instances()) - before
+        if inserted:
+            state.add_diagnostic(
+                "warning",
+                "storage pressure: %d spill transfer(s) inserted (spill storage %s)"
+                % (inserted, context.spill_storage),
+                phase=self.name,
+            )
 
 
 class CompactionPass(Pass):
@@ -288,7 +321,17 @@ class PassManager:
         return self.passes.pop(self._index_of(name))
 
     def run(self, program: Program, context: PassContext) -> CompilationState:
+        """Run every pass in order, recording per-pass wall-clock time.
+
+        Timings land in ``state.pass_timings`` keyed by pass name, in
+        pipeline order (two passes sharing a name accumulate into one
+        entry) -- the compile-side analogue of the per-phase retargeting
+        times of table 3.
+        """
         state = CompilationState(program=program)
         for p in self.passes:
+            started = time.perf_counter()
             p.run(state, context)
+            elapsed = time.perf_counter() - started
+            state.pass_timings[p.name] = state.pass_timings.get(p.name, 0.0) + elapsed
         return state

@@ -1,0 +1,334 @@
+"""Structured compilation artifacts: the result side of the toolchain API.
+
+A :class:`CompilationResult` is the immutable record of one pipeline run.
+It carries three layers of information:
+
+* **metrics** -- a :class:`CompileMetrics` block with the quantities the
+  paper's experiments report (code size, RT operations, spills, selection
+  cost) plus per-pass wall-clock timings recorded by
+  :class:`~repro.toolchain.passes.PassManager`;
+* **views** -- named, human-readable renderings: the instruction
+  ``listing``, the binary ``encoding`` (when the encode pass ran) and an
+  RT-level ``simulation_trace`` computed through
+  :class:`~repro.sim.rtsim.RTSimulator`;
+* **artifacts** -- the live IR/backend objects (program, statement codes,
+  instruction words, resource binding) for callers that keep processing.
+
+Results serialize losslessly to plain dicts/JSON (:meth:`to_dict` /
+:meth:`to_json`) and back (:meth:`from_dict` / :meth:`from_json`).  A
+deserialized result is *detached*: every metric, timing, diagnostic and
+view survives the round trip, but the live artifacts do not (they are
+process-local objects); accessing them raises
+:class:`~repro.diagnostics.ResultError`.
+
+The legacy :class:`repro.record.compiler.CompiledProgram` is a deprecated
+shim subclass of :class:`CompilationResult`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.compaction import InstructionWord, code_size
+from repro.codegen.emitter import format_listing
+from repro.codegen.selection import RTInstance, StatementCode
+from repro.codegen.spill import count_spills
+from repro.diagnostics import Diagnostic, ResultError
+from repro.ir.binding import ResourceBinding
+from repro.ir.program import Program
+from repro.toolchain.passes import CompilationState, PipelineConfig
+
+#: Bump when the dict layout of :meth:`CompilationResult.to_dict` changes.
+RESULT_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CompileMetrics:
+    """The scalar quantities of one compilation (figure-2 metrics plus
+    bookkeeping the service layer reports per request)."""
+
+    code_size: int
+    operation_count: int
+    spill_count: int
+    selection_cost: int
+    statement_count: int
+    compile_time_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "code_size": self.code_size,
+            "operation_count": self.operation_count,
+            "spill_count": self.spill_count,
+            "selection_cost": self.selection_cost,
+            "statement_count": self.statement_count,
+            "compile_time_s": self.compile_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompileMetrics":
+        return cls(
+            code_size=data["code_size"],
+            operation_count=data["operation_count"],
+            spill_count=data["spill_count"],
+            selection_cost=data["selection_cost"],
+            statement_count=data["statement_count"],
+            compile_time_s=data["compile_time_s"],
+        )
+
+
+@dataclass(frozen=True)
+class StatementArtifact:
+    """Serialized view of the code generated for one source statement."""
+
+    statement: str
+    cost: int
+    operations: Tuple[str, ...] = ()
+
+    def to_dict(self) -> dict:
+        return {
+            "statement": self.statement,
+            "cost": self.cost,
+            "operations": list(self.operations),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StatementArtifact":
+        return cls(
+            statement=data["statement"],
+            cost=data["cost"],
+            operations=tuple(data.get("operations", ())),
+        )
+
+    @classmethod
+    def from_code(cls, code: StatementCode) -> "StatementArtifact":
+        return cls(
+            statement=str(code.statement),
+            cost=code.cost,
+            operations=tuple(inst.describe() for inst in code.instances),
+        )
+
+
+@dataclass(frozen=True)
+class CompilationResult:
+    """The immutable record of compiling one program for one target.
+
+    Construct through :meth:`from_state` (what
+    :meth:`repro.toolchain.Session.compile` does) or :meth:`from_dict`
+    (deserialization).  Scalar facts live in :attr:`metrics` and are also
+    exposed as flat properties (``code_size``, ``spill_count``, ...) for
+    compatibility with the legacy ``CompiledProgram``.
+    """
+
+    name: str
+    processor: str
+    metrics: CompileMetrics
+    pass_timings: Dict[str, float] = field(default_factory=dict)
+    config: Optional[PipelineConfig] = None
+    diagnostics: Tuple[Diagnostic, ...] = ()
+    encoding: Optional[str] = None
+    # Live artifacts -- absent on detached (deserialized) results.
+    program: Optional[Program] = field(default=None, repr=False, compare=False)
+    statement_codes: Tuple[StatementCode, ...] = field(
+        default=(), repr=False, compare=False
+    )
+    words: Tuple[InstructionWord, ...] = field(default=(), repr=False, compare=False)
+    binding: Optional[ResourceBinding] = field(default=None, repr=False, compare=False)
+    # Stored renderings -- populated on detached results so every view
+    # survives serialization; live results render from the artifacts.
+    stored_listing: Optional[str] = field(default=None, repr=False)
+    stored_statements: Optional[Tuple[StatementArtifact, ...]] = field(
+        default=None, repr=False
+    )
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_state(
+        cls,
+        program: Program,
+        processor: str,
+        state: CompilationState,
+        binding: Optional[ResourceBinding] = None,
+        config: Optional[PipelineConfig] = None,
+    ) -> "CompilationResult":
+        """Build a result from one finished :class:`CompilationState`."""
+        instances = state.all_instances()
+        metrics = CompileMetrics(
+            code_size=code_size(state.words),
+            operation_count=len(instances),
+            spill_count=count_spills(instances),
+            selection_cost=sum(code.cost for code in state.statement_codes),
+            statement_count=len(state.statement_codes),
+            compile_time_s=sum(state.pass_timings.values()),
+        )
+        return cls(
+            name=program.name,
+            processor=processor,
+            metrics=metrics,
+            pass_timings=dict(state.pass_timings),
+            config=config,
+            diagnostics=tuple(state.diagnostics),
+            encoding=state.encoding,
+            program=program,
+            statement_codes=tuple(state.statement_codes),
+            words=tuple(state.words),
+            binding=binding,
+        )
+
+    # -- scalar compatibility properties ------------------------------------------
+
+    @property
+    def code_size(self) -> int:
+        """Number of instruction words (the metric of figure 2)."""
+        return self.metrics.code_size
+
+    @property
+    def operation_count(self) -> int:
+        """Number of RT operations before compaction (incl. spill code)."""
+        return self.metrics.operation_count
+
+    @property
+    def spill_count(self) -> int:
+        return self.metrics.spill_count
+
+    @property
+    def selection_cost(self) -> int:
+        return self.metrics.selection_cost
+
+    @property
+    def is_detached(self) -> bool:
+        """True when this result was deserialized and carries no live
+        IR/backend artifacts (views and metrics still work)."""
+        return self.program is None and self.stored_statements is not None
+
+    @property
+    def instances(self) -> List[RTInstance]:
+        """All RT instances in statement order (live results only)."""
+        self._require_artifacts("instances")
+        instances: List[RTInstance] = []
+        for code in self.statement_codes:
+            instances.extend(code.instances)
+        return instances
+
+    def _require_artifacts(self, what: str) -> None:
+        if self.is_detached:
+            raise ResultError(
+                "detached CompilationResult (deserialized from to_dict/to_json) "
+                "carries no live %s; recompile to get them" % what
+            )
+
+    # -- views --------------------------------------------------------------------
+
+    #: Names accepted by :meth:`view`.
+    VIEWS = ("listing", "encoding", "statements", "metrics", "timings")
+
+    def listing(self) -> str:
+        """The instruction-word listing (callable, like the legacy API)."""
+        if self.stored_listing is not None:
+            return self.stored_listing
+        return format_listing(
+            list(self.words), title="%s on %s" % (self.name, self.processor)
+        )
+
+    def statements(self) -> Tuple[StatementArtifact, ...]:
+        """Per-statement artifacts: source text, cost, RT operations."""
+        if self.stored_statements is not None:
+            return self.stored_statements
+        return tuple(StatementArtifact.from_code(code) for code in self.statement_codes)
+
+    def view(self, name: str):
+        """A named view of the result (see :data:`VIEWS`)."""
+        if name == "listing":
+            return self.listing()
+        if name == "encoding":
+            return self.encoding
+        if name == "statements":
+            return self.statements()
+        if name == "metrics":
+            return self.metrics.to_dict()
+        if name == "timings":
+            return dict(self.pass_timings)
+        raise ResultError(
+            "unknown result view %r; available views: %s"
+            % (name, ", ".join(self.VIEWS))
+        )
+
+    def simulation_trace(self, environment: Optional[Dict[str, int]] = None):
+        """Execute the generated code through the RT-level simulator and
+        return the :class:`~repro.sim.rtsim.SimulationTrace` (per-statement
+        operations + environment snapshots).  Live results only."""
+        self._require_artifacts("statement codes (needed for simulation)")
+        from repro.sim.rtsim import trace_execution
+
+        return trace_execution(list(self.statement_codes), environment or {})
+
+    def simulate(self, environment: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+        """The final environment after simulating the generated code."""
+        return self.simulation_trace(environment).final_environment
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A lossless, JSON-serializable description of the result."""
+        return {
+            "schema": RESULT_SCHEMA_VERSION,
+            "name": self.name,
+            "processor": self.processor,
+            "metrics": self.metrics.to_dict(),
+            "pass_timings": dict(self.pass_timings),
+            "config": None if self.config is None else self.config.to_dict(),
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "statements": [s.to_dict() for s in self.statements()],
+            "listing": self.listing(),
+            "encoding": self.encoding,
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CompilationResult":
+        """Rebuild a (detached) result from :meth:`to_dict` output."""
+        schema = data.get("schema", RESULT_SCHEMA_VERSION)
+        if schema != RESULT_SCHEMA_VERSION:
+            raise ResultError(
+                "unsupported CompilationResult schema %r (expected %d)"
+                % (schema, RESULT_SCHEMA_VERSION)
+            )
+        config = data.get("config")
+        # Always rebuild the base class: subclasses (the legacy
+        # CompiledProgram shim) have a different constructor signature.
+        return CompilationResult(
+            name=data["name"],
+            processor=data["processor"],
+            metrics=CompileMetrics.from_dict(data["metrics"]),
+            pass_timings=dict(data.get("pass_timings", {})),
+            config=None if config is None else PipelineConfig.from_dict(config),
+            diagnostics=tuple(
+                Diagnostic.from_dict(d) for d in data.get("diagnostics", ())
+            ),
+            encoding=data.get("encoding"),
+            stored_listing=data.get("listing", ""),
+            stored_statements=tuple(
+                StatementArtifact.from_dict(s) for s in data.get("statements", ())
+            ),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CompilationResult":
+        return cls.from_dict(json.loads(text))
+
+    # -- reporting ----------------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "processor": self.processor,
+            "code_size": self.code_size,
+            "operation_count": self.operation_count,
+            "spill_count": self.spill_count,
+            "selection_cost": self.selection_cost,
+            "compile_time_s": self.metrics.compile_time_s,
+        }

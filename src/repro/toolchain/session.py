@@ -13,17 +13,20 @@ compilations::
 
 :class:`Toolchain` binds a :class:`~repro.toolchain.registry.TargetRegistry`
 (where the HDL comes from) to a :class:`~repro.toolchain.cache.RetargetCache`
-(whether retargeting re-runs) and hands out sessions.
+(whether retargeting re-runs) and hands out sessions.  Every compile
+returns an immutable :class:`~repro.toolchain.results.CompilationResult`
+(metrics, per-pass timings, views, JSON serialization); the concurrent
+batch layer on top of sessions lives in :mod:`repro.service`.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace as dataclass_replace
 from typing import Dict, Iterable, List, Optional, Union
 
 from repro.frontend.lowering import lower_to_program
 from repro.ir.binding import bind_program, default_data_memory
 from repro.ir.program import Program
-from repro.record.compiler import CompiledProgram, restricted_selector
 from repro.record.retarget import RetargetResult, retarget
 from repro.toolchain.cache import RetargetCache, default_cache
 from repro.toolchain.passes import (
@@ -33,6 +36,8 @@ from repro.toolchain.passes import (
     PipelineConfig,
 )
 from repro.toolchain.registry import TargetRegistry, TargetSpec, default_registry
+from repro.toolchain.results import CompilationResult
+from repro.toolchain.selectors import restricted_selector
 
 Source = Union[str, Program]
 
@@ -95,7 +100,7 @@ class Session:
         self,
         program: Program,
         binding_overrides: Optional[Dict[str, str]] = None,
-    ) -> CompiledProgram:
+    ) -> CompilationResult:
         """Run the configured pass pipeline on an IR program."""
         binding = bind_program(
             program,
@@ -110,26 +115,33 @@ class Session:
             config=self.config,
         )
         state: CompilationState = self.pass_manager.run(program, context)
-        return CompiledProgram(
+        return CompilationResult.from_state(
             program=program,
             processor=self.processor,
-            statement_codes=state.statement_codes,
-            instances=state.all_instances(),
-            words=state.words,
+            state=state,
             binding=binding,
-            encoding=state.encoding,
+            config=self.config,
         )
 
     def compile(
         self,
         source: Source,
-        name: str = "program",
+        name: Optional[str] = None,
         binding_overrides: Optional[Dict[str, str]] = None,
-    ) -> CompiledProgram:
-        """Compile source text (or an already lowered IR program)."""
+    ) -> CompilationResult:
+        """Compile source text (or an already lowered IR program).
+
+        ``name`` names the compiled program: for source text it defaults
+        to ``"program"``; for an already-lowered :class:`Program` it
+        defaults to the program's own name, and an explicit ``name``
+        renames a *copy* (the caller's program object is never mutated).
+        """
         if isinstance(source, Program):
-            return self.compile_program(source, binding_overrides=binding_overrides)
-        program = lower_to_program(source, name=name)
+            program = source
+            if name is not None and name != program.name:
+                program = dataclass_replace(program, name=name)
+        else:
+            program = lower_to_program(source, name=name or "program")
         return self.compile_program(program, binding_overrides=binding_overrides)
 
     def compile_many(
@@ -137,17 +149,24 @@ class Session:
         sources: Iterable[Source],
         names: Optional[Iterable[str]] = None,
         binding_overrides: Optional[Dict[str, str]] = None,
-    ) -> List[CompiledProgram]:
+    ) -> List[CompilationResult]:
         """Batch compilation: every source through the shared pipeline.
 
         Equivalent to sequential :meth:`compile` calls but pays the
         session's target-side setup exactly once (that setup already
         happened in ``__init__``), which is what makes throughput-style
-        workloads cheap.
+        workloads cheap.  When ``names`` is omitted, source texts get
+        positional names (``program0``, ``program1``, ...) while
+        :class:`Program` sources keep their own names; an explicit
+        ``names`` list applies uniformly to both kinds.
         """
         source_list = list(sources)
+        name_list: List[Optional[str]]
         if names is None:
-            name_list = ["program%d" % index for index in range(len(source_list))]
+            name_list = [
+                None if isinstance(source, Program) else "program%d" % index
+                for index, source in enumerate(source_list)
+            ]
         else:
             name_list = list(names)
             if len(name_list) != len(source_list):
@@ -163,7 +182,7 @@ class Session:
         self,
         kernel_name: str,
         binding_overrides: Optional[Dict[str, str]] = None,
-    ) -> CompiledProgram:
+    ) -> CompilationResult:
         """Compile a DSPStone kernel by name."""
         from repro.dspstone import kernel_program
 

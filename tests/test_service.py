@@ -1,0 +1,326 @@
+"""Tests for the concurrent compile service (repro.service)."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    CompileRequest,
+    CompileResponse,
+    CompileService,
+    SessionPool,
+)
+from repro.service.api import ErrorInfo, RequestError
+from repro.toolchain import PipelineConfig
+
+
+def _mixed_batch():
+    """Nine requests over three distinct targets, one deliberately broken."""
+    return [
+        CompileRequest(target="demo", kernel="real_update", request_id="r0"),
+        CompileRequest(target="tms320c25", kernel="fir", request_id="r1"),
+        CompileRequest(
+            target="demo",
+            source="int a, b; b = a + 1;",
+            name="inc",
+            request_id="r2",
+        ),
+        CompileRequest(target="ref", kernel="dot_product", request_id="r3"),
+        CompileRequest(
+            target="tms320c25",
+            source="int a, b, c, d; d = c + a * b;",
+            request_id="r4",
+        ),
+        CompileRequest(
+            target="demo", source="this is ; not a ! program", request_id="r5"
+        ),
+        CompileRequest(
+            target="tms320c25",
+            kernel="biquad_one",
+            preset="no-chained",
+            request_id="r6",
+        ),
+        CompileRequest(target="ref", source="int a, b; b = a * 7;", request_id="r7"),
+        CompileRequest(target="demo", kernel="complex_multiply", request_id="r8"),
+    ]
+
+
+class TestRequests:
+    def test_exactly_one_of_source_or_kernel(self):
+        with pytest.raises(RequestError):
+            CompileRequest(target="demo").validate()
+        with pytest.raises(RequestError):
+            CompileRequest(target="demo", source="x", kernel="fir").validate()
+
+    def test_preset_and_config_are_exclusive(self):
+        request = CompileRequest(
+            target="demo", kernel="fir", preset="full", config=PipelineConfig()
+        )
+        with pytest.raises(RequestError):
+            request.validate()
+
+    def test_target_required(self):
+        with pytest.raises(RequestError):
+            CompileRequest(target="", kernel="fir").validate()
+
+    def test_from_dict_round_trip(self):
+        request = CompileRequest(
+            target="tms320c25",
+            kernel="fir",
+            preset="no-chained",
+            binding_overrides={"a": "ACC"},
+            request_id="x1",
+        )
+        assert CompileRequest.from_dict(request.to_dict()) == request
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(RequestError):
+            CompileRequest.from_dict({"target": "demo", "kernel": "fir", "bogus": 1})
+
+    def test_resolved_config_resolves_presets(self):
+        request = CompileRequest(target="demo", kernel="fir", preset="conventional")
+        assert request.resolved_config() == PipelineConfig.preset("conventional")
+        assert CompileRequest(
+            target="demo", kernel="fir"
+        ).resolved_config() == PipelineConfig()
+
+
+class TestSessionPool:
+    def test_sessions_are_reused_per_key(self):
+        pool = SessionPool()
+        first = pool.session("demo")
+        second = pool.session("demo")
+        assert first is second
+        assert pool.stats()["sessions"] == 1
+        assert pool.retarget_count == 1
+
+    def test_distinct_configs_get_distinct_sessions(self):
+        pool = SessionPool()
+        full = pool.session("demo")
+        restricted = pool.session("demo", PipelineConfig.preset("no-chained"))
+        assert full is not restricted
+        # but they share one retargeting run through the pool's cache
+        assert pool.retarget_count == 1
+        assert full.retarget_result is restricted.retarget_result
+
+    def test_prewarm_builds_all_targets(self):
+        pool = SessionPool()
+        sessions = pool.prewarm(["demo", "ref"], concurrent=True)
+        assert [s.processor for s in sessions] == ["demo", "ref"]
+        assert pool.retarget_count == 2
+        # prewarmed sessions are what later requests get
+        assert pool.session("demo") is sessions[0]
+
+    def test_concurrent_requests_build_one_session(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = SessionPool()
+        with ThreadPoolExecutor(max_workers=4) as executor:
+            sessions = list(
+                executor.map(lambda _i: pool.session("demo"), range(8))
+            )
+        assert all(s is sessions[0] for s in sessions)
+        assert pool.retarget_count == 1
+        assert pool.stats()["sessions"] == 1
+
+    @pytest.mark.parametrize("attempt", range(5))
+    def test_concurrent_configs_share_one_retarget(self, attempt):
+        """Regression: two configs of the same target racing through a
+        fresh pool must still retarget exactly once (the construction
+        lock is per target, not per (target, config) key)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        pool = SessionPool()
+        configs = [PipelineConfig(), PipelineConfig.preset("no-chained")] * 2
+        with ThreadPoolExecutor(max_workers=4) as executor:
+            sessions = list(
+                executor.map(lambda c: pool.session("demo", c), configs)
+            )
+        assert pool.retarget_count == 1, attempt
+        assert pool.stats()["sessions"] == 2
+        assert sessions[0].retarget_result is sessions[1].retarget_result
+
+
+class TestCompileService:
+    def test_mixed_batch_acceptance(self):
+        """The ISSUE-2 acceptance scenario: >= 8 mixed-target requests,
+        one deliberately failing, all answered, sessions pooled."""
+        requests = _mixed_batch()
+        service = CompileService()
+        responses = service.run_batch(requests)
+
+        # one structured response per request, in input order
+        assert len(responses) == len(requests)
+        assert [r.request_id for r in responses] == [
+            q.request_id for q in requests
+        ]
+        assert all(isinstance(r, CompileResponse) for r in responses)
+
+        # the broken source failed structurally, everything else succeeded
+        failures = [r for r in responses if not r.ok]
+        assert [r.request_id for r in failures] == ["r5"]
+        assert failures[0].error.type == "SourceSyntaxError"
+        assert failures[0].error.phase == "frontend"
+        for response in responses:
+            if response.ok:
+                assert response.result is not None
+                assert response.result.pass_timings
+                assert response.elapsed_s >= 0.0
+
+        # pooling amortized retargeting: one retarget per distinct target
+        distinct_targets = {q.target for q in requests}
+        assert service.pool.retarget_count == len(distinct_targets)
+        assert service.stats()["completed"] == len(requests) - 1
+        assert service.stats()["failed"] == 1
+
+    def test_unknown_target_is_isolated(self):
+        service = CompileService()
+        responses = service.run_batch(
+            [
+                CompileRequest(target="nosuchchip", kernel="fir"),
+                CompileRequest(target="demo", kernel="real_update"),
+            ]
+        )
+        assert [r.ok for r in responses] == [False, True]
+        assert responses[0].error.type == "TargetError"
+
+    def test_unknown_kernel_is_isolated(self):
+        service = CompileService()
+        responses = service.run_batch(
+            [CompileRequest(target="demo", kernel="nosuchkernel")]
+        )
+        assert not responses[0].ok
+        assert "nosuchkernel" in responses[0].error.message
+
+    def test_single_worker_path(self):
+        service = CompileService()
+        responses = service.run_batch(
+            _mixed_batch()[:3], max_workers=1
+        )
+        assert [r.ok for r in responses] == [True, True, True]
+
+    def test_empty_batch(self):
+        assert CompileService().run_batch([]) == []
+
+    def test_run_batch_dicts_isolates_malformed_jobs(self):
+        service = CompileService()
+        responses = service.run_batch_dicts(
+            [
+                {"target": "demo", "kernel": "real_update"},
+                {"_malformed": "line 2: not json"},
+                {"target": "demo", "source": "int a, b; b = a;", "name": "copy"},
+            ]
+        )
+        assert [r.ok for r in responses] == [True, False, True]
+        assert responses[1].error.type == "RequestError"
+        assert "line 2" in responses[1].error.message
+        assert responses[2].name == "copy"
+
+    def test_run_batch_dicts_keeps_original_positions_for_default_names(self):
+        """Regression: default names after a malformed line must reflect
+        the original job position, not the filtered one."""
+        service = CompileService()
+        responses = service.run_batch_dicts(
+            [
+                {"_malformed": "line 1: not json"},
+                {"target": "demo", "source": "int a, b; b = a;"},
+            ]
+        )
+        assert [r.name for r in responses] == ["request0", "request1"]
+
+    def test_response_serialization_round_trip(self):
+        service = CompileService()
+        response = service.run(CompileRequest(target="demo", kernel="fir"))
+        assert response.ok
+        data = json.loads(response.to_json())
+        rebuilt = CompileResponse.from_dict(data)
+        assert rebuilt.ok and rebuilt.result is not None
+        assert rebuilt.result.to_dict() == response.result.to_dict()
+        # status-only serialization drops the embedded result
+        slim = response.to_dict(include_result=False)
+        assert "result" not in slim and slim["ok"]
+
+    def test_error_info_from_exception_captures_phase(self):
+        from repro.diagnostics import PipelineError
+
+        info = ErrorInfo.from_exception(PipelineError("bad preset"))
+        assert info.type == "PipelineError"
+        assert info.phase == "pipeline"
+        assert ErrorInfo.from_dict(info.to_dict()) == info
+
+    def test_shared_pool_across_batches(self):
+        pool = SessionPool()
+        service = CompileService(pool=pool)
+        service.run_batch([CompileRequest(target="demo", kernel="fir")])
+        service.run_batch([CompileRequest(target="demo", kernel="dot_product")])
+        assert pool.retarget_count == 1
+
+
+class TestBatchCli:
+    def _write_jobs(self, tmp_path, jobs):
+        path = tmp_path / "jobs.jsonl"
+        path.write_text("\n".join(jobs) + "\n")
+        return str(path)
+
+    def test_batch_command_emits_one_response_per_job(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jobs_path = self._write_jobs(
+            tmp_path,
+            [
+                json.dumps({"target": "demo", "kernel": "real_update", "request_id": "a"}),
+                "# a comment line",
+                json.dumps({"target": "demo", "source": "int a, b; b = a + 1;", "name": "inc"}),
+            ],
+        )
+        assert main(["batch", jobs_path, "--no-cache"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["ok"] and first["request_id"] == "a"
+        assert first["result"]["metrics"]["code_size"] > 0
+
+    def test_batch_command_reports_failures_with_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jobs_path = self._write_jobs(
+            tmp_path,
+            [
+                json.dumps({"target": "demo", "kernel": "real_update"}),
+                "{not json",
+                json.dumps({"target": "demo", "source": "broken !!"}),
+            ],
+        )
+        assert main(["batch", jobs_path, "--no-cache", "--no-results"]) == 1
+        lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+        assert len(lines) == 3
+        statuses = [json.loads(line)["ok"] for line in lines]
+        assert statuses == [True, False, False]
+
+    def test_batch_output_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        jobs_path = self._write_jobs(
+            tmp_path, [json.dumps({"target": "demo", "kernel": "fir"})]
+        )
+        out_path = tmp_path / "responses.jsonl"
+        assert main(["batch", jobs_path, "--no-cache", "-o", str(out_path)]) == 0
+        lines = out_path.read_text().splitlines()
+        assert len(lines) == 1 and json.loads(lines[0])["ok"]
+
+    def test_compile_json_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["compile", "demo", "--kernel", "real_update", "--json", "--no-cache"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["processor"] == "demo"
+        assert data["name"] == "real_update"
+        assert set(data["pass_timings"]) == {"select", "schedule", "spill", "compact"}
+
+    def test_compile_timings_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(["compile", "demo", "--kernel", "real_update", "--timings", "--no-cache"]) == 0
+        output = capsys.readouterr().out
+        assert "Compilation report" in output
+        assert "select" in output

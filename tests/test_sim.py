@@ -5,7 +5,13 @@ import random
 import pytest
 
 from repro.record.compiler import RecordCompiler
-from repro.sim import RTSimulator, SimulationError, simulate_statement_code
+from repro.sim import (
+    RTSimulator,
+    SimulationError,
+    SimulationTrace,
+    simulate_statement_code,
+    trace_execution,
+)
 from repro.sim.rtsim import reference_execution
 from repro.codegen.selection import RTInstance
 from repro.dspstone import kernel_program
@@ -110,3 +116,82 @@ class TestKernelEquivalence:
         block = program.single_block()
         env = _environment(block, seed=7)
         assert _agrees(block.execute(env), simulate_statement_code(compiled.statement_codes, env))
+
+
+class TestCrossTargetEquivalence:
+    """End-to-end cross-target semantic check: the same kernel compiled
+    for two different processors must simulate to identical environments
+    (and both must match the IR reference execution)."""
+
+    @pytest.mark.parametrize("kernel", ["real_update", "dot_product", "biquad_one"])
+    def test_kernel_agrees_across_targets(self, tms_result, demo_result, kernel):
+        from repro.toolchain import Session
+
+        program = kernel_program(kernel)
+        block = program.single_block()
+        env = _environment(block, seed=0xC0DE)
+        reference = block.execute(env)
+
+        environments = {}
+        for result in (tms_result, demo_result):
+            compiled = Session(result).compile_program(program)
+            environments[result.processor] = simulate_statement_code(
+                compiled.statement_codes, env
+            )
+        on_tms = environments["tms320c25"]
+        on_demo = environments["demo"]
+        # both targets match the golden model ...
+        assert _agrees(reference, on_tms)
+        assert _agrees(reference, on_demo)
+        # ... and (masked) agree with each other on every program variable
+        mask = 0xFFFF
+        for variable in sorted(block.variables()):
+            assert (on_tms.get(variable, 0) & mask) == (
+                on_demo.get(variable, 0) & mask
+            ), variable
+
+    def test_cross_target_traces_reach_same_final_environment(
+        self, tms_result, demo_result
+    ):
+        from repro.toolchain import Session
+
+        program = kernel_program("dot_product")
+        env = _environment(program.single_block(), seed=3)
+        traces = [
+            Session(result).compile_program(program).simulation_trace(env)
+            for result in (tms_result, demo_result)
+        ]
+        assert all(isinstance(trace, SimulationTrace) for trace in traces)
+        # one step per statement, each step carrying the executed RTs
+        statement_count = len(program.single_block())
+        for trace in traces:
+            assert len(trace) == statement_count
+            assert all(step.operations for step in trace.steps)
+        mask = 0xFFFF
+        final_tms, final_demo = (trace.final_environment for trace in traces)
+        for variable in sorted(program.single_block().variables()):
+            assert (final_tms.get(variable, 0) & mask) == (
+                final_demo.get(variable, 0) & mask
+            )
+
+
+class TestTraceHelpers:
+    def test_trace_execution_records_statements_in_order(self, tms_compiler):
+        compiled = tms_compiler.compile_source("int a, b, c; b = a + a; c = b * a;")
+        trace = trace_execution(list(compiled.statement_codes), {"a": 3})
+        assert [step.statement for step in trace.steps] == [
+            "b = add(a, a)",
+            "c = mul(b, a)",
+        ]
+        assert trace.steps[0].environment["b"] == 6
+        assert trace.steps[1].environment["c"] == 18
+        assert trace.initial_environment == {"a": 3}
+        assert trace.final_environment["c"] == 18
+
+    def test_trace_to_dict_is_json_ready(self, tms_compiler):
+        import json
+
+        compiled = tms_compiler.compile_source("int a, b; b = a + 1;")
+        trace = trace_execution(list(compiled.statement_codes), {"a": 1})
+        encoded = json.dumps(trace.to_dict())
+        assert json.loads(encoded)["final_environment"]["b"] == 2

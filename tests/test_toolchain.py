@@ -12,7 +12,7 @@ from repro.diagnostics import (
     TargetError,
     error_report,
 )
-from repro.dspstone import all_kernel_names, get_kernel
+from repro.dspstone import all_kernel_names, get_kernel, kernel_program
 from repro.frontend import LoweringError, SourceSyntaxError
 from repro.hdl.errors import HdlParseError
 from repro.record.compiler import CompilerOptions, RecordCompiler, restricted_selector
@@ -322,6 +322,48 @@ class TestRetargetCache:
         _result, hit = fresh.get_or_retarget(demo_hdl, generate_matcher=False)
         assert not hit
 
+    def test_truncated_pickle_falls_back_and_overwrites(self, tmp_path, demo_hdl):
+        """Regression: a torn/truncated entry must re-retarget AND leave a
+        valid entry behind, never raise."""
+        cache = RetargetCache(directory=tmp_path)
+        result, _hit = cache.get_or_retarget(demo_hdl, generate_matcher=False)
+        (entry,) = [p for p in tmp_path.iterdir() if p.suffix == ".pkl"]
+        healthy = entry.read_bytes()
+        entry.write_bytes(healthy[: len(healthy) // 2])  # truncate mid-stream
+
+        fresh = RetargetCache(directory=tmp_path)
+        recovered, hit = fresh.get_or_retarget(demo_hdl, generate_matcher=False)
+        assert not hit  # fell back to re-retargeting
+        assert recovered.processor == result.processor
+        # the bad entry was overwritten with a loadable one
+        reader = RetargetCache(directory=tmp_path)
+        _again, hit = reader.get_or_retarget(demo_hdl, generate_matcher=False)
+        assert hit
+
+    def test_wrong_type_pickle_falls_back_and_overwrites(self, tmp_path, demo_hdl):
+        """An entry that unpickles into the wrong type (format skew) is
+        treated exactly like corruption."""
+        cache = RetargetCache(directory=tmp_path)
+        cache.get_or_retarget(demo_hdl, generate_matcher=False)
+        (entry,) = [p for p in tmp_path.iterdir() if p.suffix == ".pkl"]
+        entry.write_bytes(pickle.dumps({"not": "a RetargetResult"}))
+
+        fresh = RetargetCache(directory=tmp_path)
+        _result, hit = fresh.get_or_retarget(demo_hdl, generate_matcher=False)
+        assert not hit
+        reader = RetargetCache(directory=tmp_path)
+        _again, hit = reader.get_or_retarget(demo_hdl, generate_matcher=False)
+        assert hit
+
+    def test_corrupt_entry_get_never_raises(self, tmp_path, demo_hdl):
+        cache = RetargetCache(directory=tmp_path)
+        cache.get_or_retarget(demo_hdl, generate_matcher=False)
+        (entry,) = [p for p in tmp_path.iterdir() if p.suffix == ".pkl"]
+        key = entry.stem
+        entry.write_bytes(b"\x80")  # truncated pickle header
+        fresh = RetargetCache(directory=tmp_path)
+        assert fresh.get(key) is None  # miss, not an exception
+
     def test_memory_only_cache(self, demo_hdl):
         cache = RetargetCache(directory=False)
         assert cache.directory is None
@@ -388,3 +430,51 @@ class TestDiagnostics:
         error = TargetError("unknown target 'z80'")
         report = error_report(error)
         assert "TargetError" in report and "[target]" in report and "z80" in report
+
+
+# ---------------------------------------------------------------------------
+# Program naming through compile / compile_many
+# ---------------------------------------------------------------------------
+
+
+class TestSessionNaming:
+    """Regression tests: ``name=`` must apply to Program sources too."""
+
+    def test_source_text_default_name(self, demo_result):
+        assert Session(demo_result).compile("int a, b; b = a;").name == "program"
+
+    def test_source_text_explicit_name(self, demo_result):
+        compiled = Session(demo_result).compile("int a, b; b = a;", name="tiny")
+        assert compiled.name == "tiny"
+
+    def test_program_keeps_its_own_name_by_default(self, demo_result):
+        program = kernel_program("real_update")
+        compiled = Session(demo_result).compile(program)
+        assert compiled.name == "real_update"
+
+    def test_program_rename_does_not_mutate_the_caller(self, demo_result):
+        program = kernel_program("real_update")
+        compiled = Session(demo_result).compile(program, name="renamed")
+        assert compiled.name == "renamed"
+        assert compiled.program.name == "renamed"
+        assert program.name == "real_update"  # caller's object untouched
+        # renamed compilation is otherwise identical
+        baseline = Session(demo_result).compile(program)
+        assert compiled.code_size == baseline.code_size
+
+    def test_compile_many_default_names_do_not_desync(self, demo_result):
+        program = kernel_program("dot_product")
+        batch = Session(demo_result).compile_many([program, "int a, b; b = a;"])
+        assert [r.name for r in batch] == ["dot_product", "program1"]
+
+    def test_compile_many_explicit_names_apply_to_programs(self, demo_result):
+        program = kernel_program("dot_product")
+        batch = Session(demo_result).compile_many(
+            [program, "int a, b; b = a;"], names=["first", "second"]
+        )
+        assert [r.name for r in batch] == ["first", "second"]
+        assert program.name == "dot_product"
+
+    def test_compile_many_name_count_mismatch_raises(self, demo_result):
+        with pytest.raises(ValueError):
+            Session(demo_result).compile_many(["int a, b; b = a;"], names=["a", "b"])
