@@ -17,6 +17,7 @@ numbers) for the CI artifact trail::
 from __future__ import annotations
 
 import json
+import os
 import time
 from typing import List, Tuple
 
@@ -154,11 +155,17 @@ def collect_throughput() -> dict:
 
 
 def main(output: str = "BENCH_results.json") -> dict:
-    results = {
-        "schema": 1,
-        "code_size": {"tms320c25": collect_code_sizes("tms320c25")},
-        "service_throughput": collect_throughput(),
-    }
+    # Merge into an existing results file (the labeller bench writes its
+    # own section the same way), so the CI steps can run in any order.
+    results = {"schema": 1}
+    if os.path.exists(output):
+        try:
+            with open(output, "r") as handle:
+                results = json.load(handle)
+        except ValueError:
+            pass
+    results["code_size"] = {"tms320c25": collect_code_sizes("tms320c25")}
+    results["service_throughput"] = collect_throughput()
     with open(output, "w") as handle:
         json.dump(results, handle, indent=2)
         handle.write("\n")

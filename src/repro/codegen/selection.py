@@ -91,17 +91,42 @@ def build_subject_tree(statement: Statement, binding: ResourceBinding) -> Subjec
 
 
 def _build_expr_subject(expr: IRNode, binding: ResourceBinding) -> SubjectNode:
-    if isinstance(expr, Const):
-        return SubjectNode("Const", const_value=expr.value, payload=("const", expr.value))
-    if isinstance(expr, VarRef):
-        storage = binding.storage_of(expr.name)
-        return SubjectNode(storage, payload=("var", expr.name))
-    if isinstance(expr, PortInput):
-        return SubjectNode(expr.port, payload=("port", expr.port))
-    if isinstance(expr, Op):
-        children = [_build_expr_subject(child, binding) for child in expr.operands]
-        return SubjectNode(expr.op, children)
-    raise CodeGenerationError("unexpected IR node %r" % type(expr).__name__)
+    """Lower one IR expression into a subject tree (explicit-stack
+    post-order, so deep chain expressions never hit the recursion limit).
+
+    One fresh :class:`SubjectNode` per IR node *occurrence*, exactly like
+    the recursive formulation: shared IR sub-expressions stay distinct
+    subject nodes, which emission identity relies on.
+    """
+    results: List[SubjectNode] = []
+    stack: List[tuple] = [(expr, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if isinstance(node, Const):
+            results.append(
+                SubjectNode("Const", const_value=node.value, payload=("const", node.value))
+            )
+            continue
+        if isinstance(node, VarRef):
+            results.append(
+                SubjectNode(binding.storage_of(node.name), payload=("var", node.name))
+            )
+            continue
+        if isinstance(node, PortInput):
+            results.append(SubjectNode(node.port, payload=("port", node.port)))
+            continue
+        if not isinstance(node, Op):
+            raise CodeGenerationError("unexpected IR node %r" % type(node).__name__)
+        if expanded:
+            arity = len(node.operands)
+            children = results[len(results) - arity:] if arity else []
+            del results[len(results) - arity:]
+            results.append(SubjectNode(node.op, children))
+            continue
+        stack.append((node, True))
+        for operand in reversed(node.operands):
+            stack.append((operand, False))
+    return results[0]
 
 
 # ---------------------------------------------------------------------------

@@ -137,15 +137,28 @@ def evaluate_expr(expr: IRNode, environment: Dict[str, int]) -> int:
 
 
 def expr_variables(expr: IRNode) -> Set[str]:
-    """Names of all program variables read by an expression."""
-    if isinstance(expr, VarRef):
-        return {expr.name}
+    """Names of all program variables read by an expression.
+
+    Iterative (explicit stack): deep chain expressions must not hit the
+    interpreter recursion limit.
+    """
     variables: Set[str] = set()
-    for child in expr.children():
-        variables.update(expr_variables(child))
+    stack: List[IRNode] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, VarRef):
+            variables.add(node.name)
+            continue
+        stack.extend(node.children())
     return variables
 
 
 def expr_size(expr: IRNode) -> int:
-    """Number of nodes in an expression tree."""
-    return 1 + sum(expr_size(child) for child in expr.children())
+    """Number of nodes in an expression tree (explicit-stack walk)."""
+    count = 0
+    stack: List[IRNode] = [expr]
+    while stack:
+        node = stack.pop()
+        count += 1
+        stack.extend(node.children())
+    return count

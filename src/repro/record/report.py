@@ -31,6 +31,10 @@ def compilation_report(result) -> str:
                  % (metrics.operation_count, metrics.spill_count))
     lines.append("selection cost:   %5d over %d statement(s)"
                  % (metrics.selection_cost, metrics.statement_count))
+    lines.append("labeller:         %5d node state(s), memo hit rate %.1f%% "
+                 "(tables built in %.6f s)"
+                 % (metrics.nodes_labelled, 100.0 * metrics.label_memo_hit_rate,
+                    metrics.tables_build_time_s))
     lines.append("compile time:     %8.6f s total" % metrics.compile_time_s)
     for pass_name, seconds in result.pass_timings.items():
         lines.append("    %-18s %10.6f s" % (pass_name, seconds))
@@ -55,6 +59,13 @@ def retargeting_report(result: RetargetResult) -> str:
                  % (len(result.grammar.rules), len(result.grammar.rt_rules()),
                     len(result.grammar.start_rules()), len(result.grammar.stop_rules()),
                     len(result.grammar.terminals), len(result.grammar.nonterminals)))
+    tables_stats = result.selector.tables.stats()
+    lines.append("matcher tables: %d match programs (%d instructions), "
+                 "%d chain-closure entries over %d sources"
+                 % (tables_stats["match_programs"],
+                    tables_stats["program_instructions"],
+                    tables_stats["closure_entries"],
+                    tables_stats["closure_sources"]))
     timings = result.timings
     lines.append("retargeting time: %.3f s total" % timings.total)
     for phase, seconds in timings.as_dict().items():

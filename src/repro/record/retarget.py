@@ -23,17 +23,26 @@ from repro.netlist.builder import build_netlist
 from repro.netlist.netlist import Netlist
 from repro.selector.burs import CodeSelector
 from repro.selector.emit import compile_matcher_module
+from repro.selector.tables import GrammarTables
 
 
 @dataclass
 class PhaseTimings:
-    """Wall-clock seconds spent in each retargeting phase."""
+    """Wall-clock seconds spent in each retargeting phase.
+
+    ``tables`` is the offline matcher-table generation (dense interning,
+    linearized match programs, precomputed chain closure -- see
+    :class:`repro.selector.tables.GrammarTables`); ``parser_generation``
+    covers selector construction plus emitting/compiling the stand-alone
+    matcher module.
+    """
 
     hdl_frontend: float = 0.0
     netlist: float = 0.0
     extraction: float = 0.0
     expansion: float = 0.0
     grammar: float = 0.0
+    tables: float = 0.0
     parser_generation: float = 0.0
 
     @property
@@ -44,6 +53,7 @@ class PhaseTimings:
             + self.extraction
             + self.expansion
             + self.grammar
+            + self.tables
             + self.parser_generation
         )
 
@@ -54,6 +64,7 @@ class PhaseTimings:
             "extraction": self.extraction,
             "expansion": self.expansion,
             "grammar": self.grammar,
+            "tables": self.tables,
             "parser_generation": self.parser_generation,
             "total": self.total,
         }
@@ -96,8 +107,11 @@ class RetargetResult:
         self.__dict__.update(state)
 
     def regenerate_matcher(self) -> None:
-        """(Re)build the generated matcher module from the grammar."""
-        self.matcher_module = compile_matcher_module(self.grammar)
+        """(Re)build the generated matcher module from the grammar (the
+        selector's precomputed tables are reused, never rebuilt)."""
+        self.matcher_module = compile_matcher_module(
+            self.grammar, tables=self.selector.tables
+        )
 
     def summary(self) -> Dict[str, object]:
         return {
@@ -142,8 +156,14 @@ def retarget(
     timings.grammar = time.perf_counter() - start
 
     start = time.perf_counter()
-    selector = CodeSelector(grammar)
-    matcher_module = compile_matcher_module(grammar) if generate_matcher else None
+    tables = GrammarTables.build(grammar)
+    timings.tables = time.perf_counter() - start
+
+    start = time.perf_counter()
+    selector = CodeSelector(grammar, tables=tables)
+    matcher_module = (
+        compile_matcher_module(grammar, tables=tables) if generate_matcher else None
+    )
     timings.parser_generation = time.perf_counter() - start
 
     return RetargetResult(

@@ -14,7 +14,7 @@ Python:
 * :mod:`repro.selector.tables` -- the precomputed rule tables shared by both.
 """
 
-from repro.selector.subject import SubjectNode
+from repro.selector.subject import StructurePool, SubjectNode, default_structure_pool
 from repro.selector.burs import (
     CodeSelector,
     Match,
@@ -22,17 +22,21 @@ from repro.selector.burs import (
     SelectionError,
     SelectionResult,
 )
-from repro.selector.tables import GrammarTables
+from repro.selector.tables import GrammarTables, MatchProgram, chain_closure_from
 from repro.selector.emit import compile_matcher_module, emit_matcher_source
 
 __all__ = [
     "CodeSelector",
     "GrammarTables",
     "Match",
+    "MatchProgram",
     "Reduction",
     "SelectionError",
     "SelectionResult",
+    "StructurePool",
     "SubjectNode",
+    "chain_closure_from",
     "compile_matcher_module",
+    "default_structure_pool",
     "emit_matcher_source",
 ]

@@ -3,25 +3,45 @@
 The paper obtains its code selector from iburg, which reads the BNF tree
 grammar and *emits C code* that is then compiled.  We mirror that step:
 :func:`emit_matcher_source` renders a self-contained Python module embedding
-the rule tables of one grammar, and :func:`compile_matcher_module` compiles
-and executes it, returning the module namespace.  The retargeting benchmark
-times both steps, which corresponds to the "parser generation + parser
-compilation" share of table 3.
+the offline-compiled tables of one grammar -- linearized match programs and
+the precomputed chain-rule closure, exactly the tables the library's
+table-driven :class:`~repro.selector.burs.CodeSelector` consults -- and
+:func:`compile_matcher_module` compiles and executes it, returning the
+module namespace.  The retargeting benchmark times both steps, which
+corresponds to the "parser generation + parser compilation" share of
+table 3.
+
+Because the emitted module embeds the same tables (same rule order, same
+deterministic closure tie-breaks), its covers are identical to the library
+selector's by construction.
 """
 
 from __future__ import annotations
 
 import types
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.grammar.grammar import PatNonterm, PatTerm, PatternNode, TreeGrammar
+from repro.selector.tables import GrammarTables
 
 _MODULE_TEMPLATE = '''"""Generated code selector for processor {processor}.
 
 This module was emitted by repro.selector.emit; do not edit by hand.
-Rules are encoded as nested tuples:
+
+RULES encodes every grammar rule as (lhs, pattern, cost) with patterns as
+nested tuples:
     ("T", label, value_or_None, (child, ...))   -- terminal pattern node
     ("N", nonterminal)                          -- non-terminal pattern leaf
+
+PROGRAMS maps each pattern-root terminal to its linearized match programs:
+(rule_index, code) pairs whose code is a tuple of instructions
+    (1, label, value_or_None, arity)            -- terminal check
+    (0, nonterminal)                            -- non-terminal leaf probe
+run non-recursively against an explicit node stack.
+
+CLOSURE is the precomputed chain-rule closure: for each source
+non-terminal, (target, delta_cost, rule_index, previous_nonterminal)
+entries in deterministic (cost, rule-index path) order.
 """
 
 PROCESSOR = {processor!r}
@@ -29,36 +49,42 @@ START = {start!r}
 
 RULES = {rules!r}
 
+PROGRAMS = {programs!r}
+
+CLOSURE = {closure!r}
+
 TERMINALS = {terminals!r}
 NONTERMINALS = {nonterminals!r}
 
 
-def _match(pattern, node, states):
-    kind = pattern[0]
-    if kind == "N":
-        entry = states[id(node)].get(pattern[1])
-        if entry is None:
-            return None
-        return entry[0], [(node, pattern[1])]
-    _, label, value, children = pattern
-    if node.label != label:
-        return None
-    if value is not None and node.const_value != value:
-        return None
-    if len(node.children) != len(children):
-        return None
-    total, leaves = 0, []
-    for child_pattern, child_node in zip(children, node.children):
-        result = _match(child_pattern, child_node, states)
-        if result is None:
-            return None
-        total += result[0]
-        leaves.extend(result[1])
-    return total, leaves
+def _run(code, node, states):
+    stack = [node]
+    cost = 0
+    leaves = []
+    for instruction in code:
+        current = stack.pop()
+        if instruction[0]:
+            _, label, value, arity = instruction
+            if current.label != label:
+                return None
+            if value is not None and current.const_value != value:
+                return None
+            children = current.children
+            if len(children) != arity:
+                return None
+            if arity:
+                stack.extend(reversed(children))
+        else:
+            entry = states[id(current)].get(instruction[1])
+            if entry is None:
+                return None
+            cost += entry[0]
+            leaves.append((current, instruction[1]))
+    return cost, leaves
 
 
 def label(root):
-    """Dynamic-programming labelling pass over a subject tree."""
+    """Table-driven dynamic-programming labelling pass over a subject tree."""
     states = {{}}
     order = []
     stack = [(root, False)]
@@ -72,28 +98,22 @@ def label(root):
             stack.append((child, False))
     for node in order:
         state = {{}}
-        for index, (lhs, pattern, cost) in enumerate(RULES):
-            if pattern[0] == "N":
-                continue
-            result = _match(pattern, node, states)
+        for rule_index, code in PROGRAMS.get(node.label, ()):
+            result = _run(code, node, states)
             if result is None:
                 continue
-            total = cost + result[0]
-            if lhs not in state or total < state[lhs][0]:
-                state[lhs] = (total, index, result[1])
-        changed = True
-        while changed:
-            changed = False
-            for index, (lhs, pattern, cost) in enumerate(RULES):
-                if pattern[0] != "N":
-                    continue
-                source = state.get(pattern[1])
-                if source is None:
-                    continue
-                total = cost + source[0]
-                if lhs not in state or total < state[lhs][0]:
-                    state[lhs] = (total, index, [(node, pattern[1])])
-                    changed = True
+            rule = RULES[rule_index]
+            total = rule[2] + result[0]
+            entry = state.get(rule[0])
+            if entry is None or total < entry[0]:
+                state[rule[0]] = (total, rule_index, result[1])
+        for source, entry in list(state.items()):
+            base = entry[0]
+            for target, delta, rule_index, previous in CLOSURE.get(source, ()):
+                total = base + delta
+                existing = state.get(target)
+                if existing is None or total < existing[0]:
+                    state[target] = (total, rule_index, [(node, previous)])
         states[id(node)] = state
     return states
 
@@ -110,14 +130,16 @@ def reduce(root, goal=START):
     if goal not in states[id(root)]:
         raise ValueError("tree not derivable from %s" % goal)
     output = []
-
-    def walk(node, nonterminal):
-        cost, index, leaves = states[id(node)][nonterminal]
-        for leaf_node, leaf_nonterminal in leaves:
-            walk(leaf_node, leaf_nonterminal)
-        output.append(index)
-
-    walk(root, goal)
+    stack = [(root, goal, False)]
+    while stack:
+        node, nonterminal, expanded = stack.pop()
+        entry = states[id(node)][nonterminal]
+        if expanded:
+            output.append(entry[1])
+            continue
+        stack.append((node, nonterminal, True))
+        for leaf_node, leaf_nonterminal in reversed(entry[2]):
+            stack.append((leaf_node, leaf_nonterminal, False))
     return output
 '''
 
@@ -135,8 +157,36 @@ def _encode_pattern(pattern: PatternNode):
     raise TypeError("unexpected pattern node %r" % pattern)
 
 
-def emit_matcher_source(grammar: TreeGrammar) -> str:
-    """Python source of a stand-alone matcher for ``grammar``."""
+def _encode_programs(tables: GrammarTables) -> Dict[str, Tuple[tuple, ...]]:
+    programs: Dict[str, Tuple[tuple, ...]] = {}
+    for label_name, op_id in tables.op_ids.items():
+        encoded: List[tuple] = []
+        for program in tables.programs_by_op[op_id]:
+            code = tuple(
+                instruction
+                if instruction[0]
+                else (0, instruction[1])  # drop the leaf path: memo-only info
+                for instruction in program.code
+            )
+            encoded.append((program.rule.index, code))
+        programs[label_name] = tuple(encoded)
+    return programs
+
+
+def _encode_closure(tables: GrammarTables) -> Dict[str, Tuple[tuple, ...]]:
+    closure: Dict[str, Tuple[tuple, ...]] = {}
+    for source, entries in tables.chain_closure.items():
+        closure[source] = tuple(
+            (target, delta, rule_path[-1].index, rule_path[-1].pattern.name)
+            for target, delta, rule_path in entries
+        )
+    return closure
+
+
+def emit_matcher_source(grammar: TreeGrammar, tables: GrammarTables = None) -> str:
+    """Python source of a stand-alone, table-driven matcher for ``grammar``."""
+    if tables is None:
+        tables = GrammarTables.build(grammar)
     rules = tuple(
         (rule.lhs, _encode_pattern(rule.pattern), rule.cost) for rule in grammar.rules
     )
@@ -144,14 +194,18 @@ def emit_matcher_source(grammar: TreeGrammar) -> str:
         processor=grammar.processor,
         start=grammar.start,
         rules=rules,
+        programs=_encode_programs(tables),
+        closure=_encode_closure(tables),
         terminals=tuple(sorted(grammar.terminals)),
         nonterminals=tuple(sorted(grammar.nonterminals)),
     )
 
 
-def compile_matcher_module(grammar: TreeGrammar) -> types.ModuleType:
+def compile_matcher_module(
+    grammar: TreeGrammar, tables: GrammarTables = None
+) -> types.ModuleType:
     """Emit, compile and execute the matcher module for ``grammar``."""
-    source = emit_matcher_source(grammar)
+    source = emit_matcher_source(grammar, tables=tables)
     module = types.ModuleType("generated_selector_%s" % grammar.processor)
     code = compile(source, "<generated selector %s>" % grammar.processor, "exec")
     exec(code, module.__dict__)

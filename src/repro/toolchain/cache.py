@@ -27,7 +27,9 @@ from repro.record.retarget import RetargetResult, retarget
 
 #: Bump to invalidate every existing cache entry when the pickled layout
 #: of RetargetResult (or any object it contains) changes.
-CACHE_FORMAT_VERSION = 1
+#: 2: PhaseTimings grew the ``tables`` phase and GrammarTables became the
+#:    offline-compiled matcher tables (match programs + chain closure).
+CACHE_FORMAT_VERSION = 2
 
 
 def default_cache_dir() -> str:

@@ -161,6 +161,9 @@ class CompilationState:
     encoding: Optional[str] = None
     pass_timings: Dict[str, float] = field(default_factory=dict)
     diagnostics: List["Diagnostic"] = field(default_factory=list)
+    # Labeller statistics of this run's selection pass (nodes labelled,
+    # memo hits/misses, table provenance); flows into CompileMetrics.
+    selection_stats: Dict[str, float] = field(default_factory=dict)
 
     def add_diagnostic(
         self, severity: str, message: str, phase: str = ""
@@ -208,9 +211,13 @@ class SelectionPass(Pass):
     name = "select"
 
     def run(self, state: CompilationState, context: PassContext) -> None:
+        selector = context.selector
+        hits_before = selector.memo_hits
+        misses_before = selector.memo_misses
+        labelled_before = selector.nodes_labelled
         for block in state.program.blocks:
             for statement in block.statements:
-                code = select_statement(statement, context.selector, context.binding)
+                code = select_statement(statement, selector, context.binding)
                 state.statement_codes.append(
                     StatementCode(
                         statement=code.statement,
@@ -218,6 +225,20 @@ class SelectionPass(Pass):
                         instances=list(code.instances),
                     )
                 )
+        # Per-run deltas of the (possibly shared) selector's counters;
+        # approximate under concurrent compiles against one pooled session,
+        # exact otherwise.
+        hits = selector.memo_hits - hits_before
+        misses = selector.memo_misses - misses_before
+        lookups = hits + misses
+        state.selection_stats = {
+            "matcher": selector.matcher,
+            "nodes_labelled": selector.nodes_labelled - labelled_before,
+            "memo_hits": hits,
+            "memo_misses": misses,
+            "memo_hit_rate": (hits / lookups) if lookups else 0.0,
+            "tables_build_time_s": selector.tables.build_time_s,
+        }
 
 
 class SchedulingPass(Pass):

@@ -47,7 +47,14 @@ RESULT_SCHEMA_VERSION = 1
 @dataclass(frozen=True)
 class CompileMetrics:
     """The scalar quantities of one compilation (figure-2 metrics plus
-    bookkeeping the service layer reports per request)."""
+    bookkeeping the service layer reports per request).
+
+    The labeller block (``nodes_labelled``, ``label_memo_hit_rate``,
+    ``tables_build_time_s``) describes the table-driven BURS matcher:
+    how many node states this compile materialized, which fraction came
+    out of the structural memo, and how long the offline table generation
+    this selector runs on took at retarget time.
+    """
 
     code_size: int
     operation_count: int
@@ -55,6 +62,9 @@ class CompileMetrics:
     selection_cost: int
     statement_count: int
     compile_time_s: float
+    nodes_labelled: int = 0
+    label_memo_hit_rate: float = 0.0
+    tables_build_time_s: float = 0.0
 
     def to_dict(self) -> dict:
         return {
@@ -64,6 +74,9 @@ class CompileMetrics:
             "selection_cost": self.selection_cost,
             "statement_count": self.statement_count,
             "compile_time_s": self.compile_time_s,
+            "nodes_labelled": self.nodes_labelled,
+            "label_memo_hit_rate": self.label_memo_hit_rate,
+            "tables_build_time_s": self.tables_build_time_s,
         }
 
     @classmethod
@@ -75,6 +88,9 @@ class CompileMetrics:
             selection_cost=data["selection_cost"],
             statement_count=data["statement_count"],
             compile_time_s=data["compile_time_s"],
+            nodes_labelled=data.get("nodes_labelled", 0),
+            label_memo_hit_rate=data.get("label_memo_hit_rate", 0.0),
+            tables_build_time_s=data.get("tables_build_time_s", 0.0),
         )
 
 
@@ -155,6 +171,7 @@ class CompilationResult:
     ) -> "CompilationResult":
         """Build a result from one finished :class:`CompilationState`."""
         instances = state.all_instances()
+        selection_stats = getattr(state, "selection_stats", None) or {}
         metrics = CompileMetrics(
             code_size=code_size(state.words),
             operation_count=len(instances),
@@ -162,6 +179,9 @@ class CompilationResult:
             selection_cost=sum(code.cost for code in state.statement_codes),
             statement_count=len(state.statement_codes),
             compile_time_s=sum(state.pass_timings.values()),
+            nodes_labelled=int(selection_stats.get("nodes_labelled", 0)),
+            label_memo_hit_rate=float(selection_stats.get("memo_hit_rate", 0.0)),
+            tables_build_time_s=float(selection_stats.get("tables_build_time_s", 0.0)),
         )
         return cls(
             name=program.name,

@@ -23,6 +23,7 @@ class TestRetarget:
             "extraction",
             "expansion",
             "grammar",
+            "tables",
             "parser_generation",
             "total",
         }
