@@ -15,6 +15,7 @@ Run with::
 
 from repro.baselines import hand_reference_size
 from repro.dspstone import get_kernel
+from repro.frontend.lowering import lower_to_program
 from repro.sim import simulate_statement_code
 from repro.toolchain import PipelineConfig, Toolchain
 
@@ -47,10 +48,12 @@ def main():
         100.0 * baseline_code.code_size / hand,
     ))
 
-    # check both code sequences against the reference execution
+    # check both code sequences against the reference execution of the
+    # *source* program (not the optimizer's output carried by the result)
     environment = {"x[%d]" % i: i + 1 for i in range(8)}
     environment.update({"h[%d]" % i: 2 * i - 3 for i in range(8)})
-    reference = record_code.program.single_block().execute(environment)["y"] & 0xFFFF
+    source_block = lower_to_program(kernel.source, name="fir").single_block()
+    reference = source_block.execute(environment)["y"] & 0xFFFF
     for name, compiled in (("RECORD", record_code), ("baseline", baseline_code)):
         simulated = simulate_statement_code(compiled.statement_codes, environment)["y"] & 0xFFFF
         status = "OK" if simulated == reference else "MISMATCH"

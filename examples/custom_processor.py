@@ -139,7 +139,10 @@ def main():
     print(compiled.listing())
 
     environment = {"a": 30, "b": 12, "c": 5}
-    reference = compiled.program.single_block().execute(environment)
+    # Reference-execute the source program, not the optimizer's output.
+    from repro.frontend.lowering import lower_to_program
+
+    reference = lower_to_program(PROGRAM, name="custom").single_block().execute(environment)
     simulated = simulate_statement_code(compiled.statement_codes, environment)
     for variable in ("y", "c"):
         match = (reference[variable] & 0xFFFF) == (simulated[variable] & 0xFFFF)

@@ -74,7 +74,10 @@ def main():
     print(compiled.listing())
 
     environment = {"a": 3, "b": 4, "c": 10}
-    reference = compiled.program.single_block().execute(environment)
+    # Reference-execute the source program, not the optimizer's output.
+    from repro.frontend.lowering import lower_to_program
+
+    reference = lower_to_program(SOURCE_PROGRAM, name="quickstart").single_block().execute(environment)
     simulated = simulate_statement_code(compiled.statement_codes, environment)
     print("== simulation vs. reference ==")
     for variable in ("d", "c"):

@@ -41,6 +41,9 @@ experiments:
   (the iburg-equivalent code selector);
 * :mod:`repro.frontend` / :mod:`repro.ir` / :mod:`repro.codegen` -- source
   language, IR and the code-generation backend;
+* :mod:`repro.opt` -- the pre-selection IR optimizer (expression DAGs,
+  constant folding, cross-statement CSE, dead-temporary elimination), run
+  by default as the ``opt`` pass ahead of selection;
 * :mod:`repro.record` -- the retargeting driver plus the legacy
   ``retarget()`` / ``RecordCompiler`` API (now thin shims over
   :mod:`repro.toolchain`; see ``docs/API.md`` for migration notes);
@@ -71,8 +74,9 @@ from repro.service import (
     CompileService,
     SessionPool,
 )
+from repro.opt import OptPipeline, OptStats, optimize_program
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CompilationResult",
@@ -83,6 +87,8 @@ __all__ = [
     "CompiledProgram",
     "CompilerOptions",
     "Diagnostic",
+    "OptPipeline",
+    "OptStats",
     "PipelineConfig",
     "RecordCompiler",
     "ReproError",
@@ -101,6 +107,7 @@ __all__ = [
     "get_kernel",
     "get_target",
     "kernel_program",
+    "optimize_program",
     "register_target",
     "retarget",
     "target_hdl_source",

@@ -11,6 +11,9 @@ Usage (also available as ``python -m repro ...``)::
     python -m repro compile tms320c25 --kernel fir --baseline --binary
     python -m repro compile tms320c25 --kernel fir --preset no-chained
     python -m repro compile tms320c25 --kernel fir --json --timings
+    python -m repro compile tms320c25 --kernel fir --no-opt
+    python -m repro opt prog.c                   # IR optimizer before/after
+    python -m repro opt --kernel fir --stages fold,cse
     python -m repro batch jobs.jsonl             # concurrent batch service
     python -m repro batch - --jobs 4 < jobs.jsonl
     python -m repro cache                        # retarget-cache statistics
@@ -36,7 +39,7 @@ from typing import List, Optional
 
 from repro.baselines import hand_reference_size
 from repro.diagnostics import ReproError, error_report
-from repro.dspstone import all_kernel_names, get_kernel
+from repro.dspstone import all_kernel_names, get_kernel, kernel_program
 from repro.grammar import grammar_to_bnf
 from repro.record.report import (
     compilation_report,
@@ -116,6 +119,10 @@ def _cmd_compile(args) -> int:
         config = PipelineConfig()
     if args.binary:
         config = config.with_updates(encode=True)
+    if args.no_opt:
+        # Byte-identical pre-optimizer pipeline: selection runs on the
+        # raw lowered trees.
+        config = config.with_updates(use_optimizer=False)
     session = _session(args, config=config)
     if args.kernel:
         kernel = get_kernel(args.kernel)
@@ -147,6 +154,49 @@ def _cmd_compile(args) -> int:
     if args.binary:
         print("\nbinary encoding (dash = don't-care bit):")
         print(compiled.encoding)
+    return 0
+
+
+def _cmd_opt(args) -> int:
+    """Run the (target-independent) IR optimizer and print before/after."""
+    from repro.frontend.lowering import lower_to_program
+    from repro.opt import OptPipeline
+
+    if args.kernel:
+        program = kernel_program(args.kernel)
+    elif args.source:
+        with open(args.source, "r") as handle:
+            source = handle.read()
+        try:
+            program = lower_to_program(source, name=os.path.basename(args.source))
+        except ReproError as error:
+            raise SystemExit("error: %s" % error_report(error))
+    else:
+        raise SystemExit("error: provide a source file or --kernel NAME")
+    stages = None
+    if args.stages:
+        stages = [stage.strip() for stage in args.stages.split(",") if stage.strip()]
+    try:
+        pipeline = OptPipeline(stages=stages)
+    except ReproError as error:
+        raise SystemExit("error: %s" % error_report(error))
+    optimized, stats = pipeline.run(program)
+    print("== before (%d statements, %d IR nodes) ==" % (
+        stats.statements_before, stats.nodes_before))
+    for block in program.blocks:
+        for statement in block.statements:
+            print("  %s" % statement)
+    print("== after (%d statements, %d IR nodes) ==" % (
+        stats.statements_after, stats.nodes_after))
+    for block in optimized.blocks:
+        for statement in block.statements:
+            print("  %s" % statement)
+    print("stats: %d fold(s), %d algebraic rewrite(s), %d cse hit(s), "
+          "%d temp(s) introduced, %d dead temp(s) removed" % (
+              stats.folds, stats.algebraic, stats.cse_hits,
+              stats.temps_introduced, stats.dead_removed))
+    for rule in sorted(stats.rewrites):
+        print("    %-18s %4d" % (rule, stats.rewrites[rule]))
     return 0
 
 
@@ -295,7 +345,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--timings", action="store_true",
         help="print per-pass wall-clock timings and diagnostics",
     )
+    compile_parser.add_argument(
+        "--no-opt", action="store_true",
+        help="skip the IR optimizer (byte-identical pre-optimizer pipeline)",
+    )
     _add_cache_flags(compile_parser)
+
+    opt_parser = subparsers.add_parser(
+        "opt",
+        help="run the IR optimizer on a program and print before/after",
+        description="Target-independent view of the repro.opt pipeline: "
+        "constant folding, algebraic rewriting, cross-statement CSE and "
+        "dead-temporary elimination, with per-rewrite statistics.",
+    )
+    opt_parser.add_argument("source", nargs="?", help="source file in the C-like input language")
+    opt_parser.add_argument("--kernel", help="optimize a named DSPStone kernel instead of a file")
+    opt_parser.add_argument(
+        "--stages", metavar="LIST",
+        help="comma-separated stage subset (default: fold,cse,dce)",
+    )
 
     batch_parser = subparsers.add_parser(
         "batch",
@@ -304,6 +372,8 @@ def build_parser() -> argparse.ArgumentParser:
         '{"target": "tms320c25", "kernel": "fir"} or '
         '{"target": "demo", "source": "int a, b; b = a + 1;", "name": "inc", '
         '"preset": "no-chained", "request_id": "job-1"}. '
+        'An "opt": false field skips the IR optimizer for that job '
+        "(A/B the optimizer under load). "
         "One JSON response line is emitted per job, in input order; a "
         "failing job yields a structured error response and never kills "
         "the batch.",
@@ -351,6 +421,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_retarget(args)
     if args.command == "compile":
         return _cmd_compile(args)
+    if args.command == "opt":
+        return _cmd_opt(args)
     if args.command == "batch":
         return _cmd_batch(args)
     if args.command == "cache":

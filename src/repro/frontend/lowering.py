@@ -16,6 +16,7 @@ from repro.frontend.ast import (
 )
 from repro.diagnostics import ReproError
 from repro.frontend.parser import parse_source
+from repro.ir import wrap_word
 from repro.ir.expr import Const, IRNode, Op, VarRef
 from repro.ir.program import BasicBlock, Program, Statement
 
@@ -93,7 +94,10 @@ def _lower_target(
 
 def _lower_expr(expr: SourceExpr, scalars: Set[str], arrays: Dict[str, int]) -> IRNode:
     if isinstance(expr, SourceConst):
-        return Const(expr.value)
+        # Literals are canonicalized to the machine word width right here,
+        # so the IR, the optimizer's folded constants and the simulator
+        # all agree on one value for out-of-range literals.
+        return Const(wrap_word(expr.value))
     if isinstance(expr, SourceVar):
         if expr.name not in scalars:
             raise LoweringError("use of undeclared scalar %r" % expr.name)

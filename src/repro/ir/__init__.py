@@ -6,9 +6,28 @@ binary trees whose leaves are program variables, primary inputs or
 constants -- exactly the entities derivable from the tree grammar's start
 symbol (section 3.1 of the paper).  Program variables are bound to storage
 resources (memories, registers or ports) before code selection.
+
+:func:`wrap_word` (re-exported here, with :data:`WORD_BITS` and
+:func:`apply_operator`) is the *single* word-width authority of the
+reproduction: the frontend wraps literals through it, the optimizer folds
+constants through it, and the RT simulator evaluates through it -- so a
+folded constant provably agrees with simulated execution.
 """
 
-from repro.ir.expr import Const, IRExpr, IRNode, Op, PortInput, VarRef, evaluate_expr, expr_variables
+from repro.ir.expr import (
+    WORD_BITS,
+    Const,
+    IRExpr,
+    IRNode,
+    Op,
+    PortInput,
+    VarRef,
+    apply_operator,
+    evaluate_expr,
+    expr_size,
+    expr_variables,
+    wrap_word,
+)
 from repro.ir.program import BasicBlock, Program, Statement
 from repro.ir.binding import ResourceBinding, bind_program
 
@@ -23,7 +42,11 @@ __all__ = [
     "ResourceBinding",
     "Statement",
     "VarRef",
+    "WORD_BITS",
+    "apply_operator",
     "bind_program",
     "evaluate_expr",
+    "expr_size",
     "expr_variables",
+    "wrap_word",
 ]

@@ -101,7 +101,12 @@ _UNARY_SEMANTICS: Dict[str, Callable[[int], int]] = {
 
 
 def wrap_word(value: int) -> int:
-    """Reduce a value to the machine word width (two's complement wrap)."""
+    """Reduce a value to the machine word width (two's complement wrap).
+
+    The canonical import point is :mod:`repro.ir` (``repro.ir.wrap_word``);
+    frontend lowering, the :mod:`repro.opt` constant folder and the RT
+    simulator all share this one definition so their arithmetic agrees.
+    """
     return value & _WORD_MASK
 
 

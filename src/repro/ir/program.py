@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Set
 
-from repro.ir.expr import IRNode, evaluate_expr, expr_variables
+from repro.ir.expr import IRNode, evaluate_expr, expr_size, expr_variables
 
 
 @dataclass
@@ -85,3 +85,13 @@ class Program:
 
     def statement_count(self) -> int:
         return sum(len(block) for block in self.blocks)
+
+    def expression_node_count(self) -> int:
+        """Total IR nodes over all statement right-hand sides -- the size
+        measure the optimizer reports (``OptStats.nodes_before/after``)
+        and the proxy for the labelling work the selector will face."""
+        return sum(
+            expr_size(statement.expression)
+            for block in self.blocks
+            for statement in block.statements
+        )

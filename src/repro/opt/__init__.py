@@ -1,0 +1,67 @@
+"""IR-level optimization ahead of code selection.
+
+The BURS selector labels every subject-tree node, so the cheapest node is
+the one the frontend never hands it.  This package is the pre-selection
+optimizer that exploits that: a value-numbered expression DAG identifies
+identical subtrees across all statements of a program
+(:mod:`repro.opt.dag`), constant folding and algebraic rewriting shrink
+trees in place (:mod:`repro.opt.fold`), cross-statement CSE materializes
+repeated computations into compiler temporaries and dead-temporary
+elimination cleans up after it (:mod:`repro.opt.cse`), all composed by the
+:class:`OptPipeline` (:mod:`repro.opt.pipeline`) with per-rewrite
+statistics.
+
+The toolchain runs it by default as the ``opt`` pass ahead of ``select``
+(:class:`repro.toolchain.passes.OptimizationPass`); disable it with
+``PipelineConfig(use_optimizer=False)``, the ``no-opt`` preset, or
+``repro compile --no-opt``.  ``repro opt <source>`` shows the rewrite
+standalone.  All rewrites are exact under the word-wrapped reference
+semantics of :func:`repro.ir.evaluate_expr`.
+"""
+
+from repro.opt.cse import (
+    MIN_OCCURRENCES,
+    MIN_OPS,
+    TEMP_PREFIX,
+    eliminate_common_subexpressions,
+    eliminate_dead_temporaries,
+    is_temp,
+)
+from repro.opt.dag import DAGNode, ExprDAG, ProgramDAG, build_block_dag
+from repro.opt.fold import (
+    FOLD_RULES,
+    contains_port_read,
+    fold_expr,
+    fold_statement,
+    structurally_equal,
+)
+from repro.opt.pipeline import (
+    OptimizationError,
+    OptPipeline,
+    OptStats,
+    copy_program,
+    optimize_program,
+)
+
+__all__ = [
+    "DAGNode",
+    "ExprDAG",
+    "FOLD_RULES",
+    "MIN_OCCURRENCES",
+    "MIN_OPS",
+    "OptPipeline",
+    "OptStats",
+    "OptimizationError",
+    "ProgramDAG",
+    "TEMP_PREFIX",
+    "build_block_dag",
+    "contains_port_read",
+    "copy_program",
+    "eliminate_common_subexpressions",
+    "eliminate_dead_temporaries",
+    "fold_expr",
+    "fold_statement",
+    "is_temp",
+    "optimize_program",
+    "structurally_equal",
+]

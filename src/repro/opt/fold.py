@@ -1,0 +1,265 @@
+"""Constant folding, algebraic simplification and strength reduction.
+
+All rewrites are exact under the reference semantics of
+:func:`repro.ir.evaluate_expr`: arithmetic wraps modulo ``2**WORD_BITS``
+(see :func:`repro.ir.wrap_word`), ``div``/``mod`` by zero yield zero, and
+every intermediate value is already word-wrapped -- so dropping an
+``add x 0`` or rewriting ``mul x 2**k`` into ``shl x k`` is provably
+observation-preserving, which the differential suite
+(``tests/test_opt_differential.py``) checks against the RT simulator.
+
+Two safety gates keep the rules conservative:
+
+* **value-discarding** rules (``mul x 0 -> 0``, ``and x 0 -> 0``,
+  ``sub x x -> 0``, ...) only fire when the discarded operand reads no
+  primary input port -- deleting a port read could be observable on real
+  hardware even though the simulator models ports as plain environment
+  cells;
+* **operator-introducing** rules (``mul/div`` by powers of two to
+  ``shl``/``shr``) only fire when ``supported_ops`` says the target can
+  actually cover the introduced shape -- a rewrite must never turn a
+  coverable tree into an uncoverable one.  ``supported_ops`` holds
+  *introducible-operator signatures*: a bare name (``"shl"``) allows the
+  operator with any constant amount, ``"shl:3"`` allows exactly a
+  shift by 3 (target grammars frequently hard-wire shift amounts; the
+  :class:`~repro.toolchain.passes.OptimizationPass` extracts the precise
+  signatures from the grammar's rule patterns).  With
+  ``supported_ops=None`` (the target-independent ``repro opt`` CLI) the
+  rules fire unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.ir import WORD_BITS, apply_operator, wrap_word
+from repro.ir.expr import Const, IRNode, Op, PortInput, VarRef
+from repro.ir.program import Statement
+
+#: Wrapped powers of two that become shift amounts (2**1 .. 2**(WORD_BITS-1)).
+_POW2: Dict[int, int] = {1 << k: k for k in range(1, WORD_BITS)}
+
+_ALL_ONES = wrap_word(-1)
+
+#: Rewrite-rule names counted as *constant folds* (the rest are algebraic).
+FOLD_RULES = frozenset({"const-fold", "const-wrap"})
+
+
+def contains_port_read(expr: IRNode) -> bool:
+    """True when the expression reads any primary input port."""
+    stack: List[IRNode] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, PortInput):
+            return True
+        stack.extend(node.children())
+    return False
+
+
+def structurally_equal(left: IRNode, right: IRNode) -> bool:
+    """Structural equality without recursive ``__eq__`` (safe on the ~5k
+    node chain expressions the deep-tree tests compile)."""
+    stack: List[Tuple[IRNode, IRNode]] = [(left, right)]
+    while stack:
+        a, b = stack.pop()
+        if a is b:
+            continue
+        if type(a) is not type(b):
+            return False
+        if isinstance(a, Const):
+            if a.value != b.value:
+                return False
+        elif isinstance(a, VarRef):
+            if a.name != b.name:
+                return False
+        elif isinstance(a, PortInput):
+            if a.port != b.port:
+                return False
+        else:  # Op
+            if a.op != b.op or len(a.operands) != len(b.operands):
+                return False
+            stack.extend(zip(a.operands, b.operands))
+    return True
+
+
+def _const_value(node: IRNode) -> Optional[int]:
+    """The word-wrapped value of a constant operand, else ``None``."""
+    if isinstance(node, Const):
+        return wrap_word(node.value)
+    return None
+
+
+def _discardable(node: IRNode) -> bool:
+    """May this operand be deleted outright?  (No port reads; variable
+    and constant reads are side-effect free.)"""
+    return not contains_port_read(node)
+
+
+def _rewrite_once(
+    node: Op, supported_ops: Optional[Set[str]]
+) -> Optional[Tuple[IRNode, str]]:
+    """One applicable rewrite of ``node``, or ``None``.  Returns the
+    replacement expression and the rule name that fired."""
+    operands = node.operands
+
+    # Constant folding: every operand is a literal.
+    if all(isinstance(operand, Const) for operand in operands):
+        try:
+            value = apply_operator(
+                node.op, [wrap_word(operand.value) for operand in operands]
+            )
+        except ValueError:
+            return None  # unknown operator: leave the node alone
+        return Const(value), "const-fold"
+
+    def allows_shift(op: str, amount: int) -> bool:
+        if supported_ops is None:
+            return True
+        return op in supported_ops or "%s:%d" % (op, amount) in supported_ops
+
+    op = node.op
+    if len(operands) == 1:
+        inner = operands[0]
+        if op in ("neg", "not") and isinstance(inner, Op) and inner.op == op:
+            return inner.operands[0], "double-%s" % op
+        return None
+    if len(operands) != 2:
+        return None
+
+    left, right = operands
+    lc = _const_value(left)
+    rc = _const_value(right)
+
+    if op == "add":
+        if rc == 0:
+            return left, "add-zero"
+        if lc == 0:
+            return right, "add-zero"
+    elif op == "sub":
+        if rc == 0:
+            return left, "sub-zero"
+        if structurally_equal(left, right) and _discardable(left):
+            return Const(0), "sub-self"
+    elif op == "mul":
+        if rc == 1:
+            return left, "mul-one"
+        if lc == 1:
+            return right, "mul-one"
+        if rc == 0 and _discardable(left):
+            return Const(0), "mul-zero"
+        if lc == 0 and _discardable(right):
+            return Const(0), "mul-zero"
+        if rc in _POW2 and allows_shift("shl", _POW2[rc]):
+            return Op("shl", (left, Const(_POW2[rc]))), "mul-pow2-shl"
+        if lc in _POW2 and allows_shift("shl", _POW2[lc]):
+            return Op("shl", (right, Const(_POW2[lc]))), "mul-pow2-shl"
+    elif op == "div":
+        if rc == 1:
+            return left, "div-one"
+        if rc == 0 and _discardable(left):
+            return Const(0), "div-zero"  # div by zero yields 0 by definition
+        if rc in _POW2 and allows_shift("shr", _POW2[rc]):
+            return Op("shr", (left, Const(_POW2[rc]))), "div-pow2-shr"
+    elif op == "mod":
+        if rc in (0, 1) and _discardable(left):
+            return Const(0), "mod-trivial"
+    elif op == "and":
+        if rc == _ALL_ONES:
+            return left, "and-ones"
+        if lc == _ALL_ONES:
+            return right, "and-ones"
+        if rc == 0 and _discardable(left):
+            return Const(0), "and-zero"
+        if lc == 0 and _discardable(right):
+            return Const(0), "and-zero"
+    elif op == "or":
+        if rc == 0:
+            return left, "or-zero"
+        if lc == 0:
+            return right, "or-zero"
+    elif op == "xor":
+        if rc == 0:
+            return left, "xor-zero"
+        if lc == 0:
+            return right, "xor-zero"
+        if structurally_equal(left, right) and _discardable(left):
+            return Const(0), "xor-self"
+    elif op in ("shl", "shr"):
+        if rc == 0:
+            return left, "shift-zero"
+    return None
+
+
+def fold_expr(
+    expr: IRNode,
+    supported_ops: Optional[Set[str]] = None,
+    rewrites: Optional[Dict[str, int]] = None,
+) -> IRNode:
+    """Fold one expression bottom-up, returning a *fresh* tree.
+
+    Every output node is newly constructed (never aliased with the
+    input), out-of-range constants are canonicalized through
+    :func:`repro.ir.wrap_word`, and each rebuilt node is rewritten to a
+    local fixpoint, so ``mul(add(x, 0), 1)`` collapses in one pass.
+    ``rewrites`` accumulates per-rule fire counts.
+    """
+    counts = rewrites if rewrites is not None else {}
+    results: List[IRNode] = []
+    stack: List[Tuple[IRNode, bool]] = [(expr, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if isinstance(node, Const):
+            wrapped = wrap_word(node.value)
+            if wrapped != node.value:
+                counts["const-wrap"] = counts.get("const-wrap", 0) + 1
+            results.append(Const(wrapped))
+            continue
+        if isinstance(node, VarRef):
+            results.append(VarRef(node.name))
+            continue
+        if isinstance(node, PortInput):
+            results.append(PortInput(node.port))
+            continue
+        if not isinstance(node, Op):
+            raise TypeError("unexpected IR node %r" % type(node).__name__)
+        if not expanded:
+            stack.append((node, True))
+            for operand in reversed(node.operands):
+                stack.append((operand, False))
+            continue
+        arity = len(node.operands)
+        children = results[len(results) - arity:] if arity else []
+        del results[len(results) - arity:]
+        rebuilt: IRNode = Op(node.op, tuple(children))
+        while isinstance(rebuilt, Op):
+            replaced = _rewrite_once(rebuilt, supported_ops)
+            if replaced is None:
+                break
+            rebuilt, rule = replaced
+            counts[rule] = counts.get(rule, 0) + 1
+        results.append(rebuilt)
+    return results[0]
+
+
+def fold_statement(
+    statement: Statement,
+    supported_ops: Optional[Set[str]] = None,
+    rewrites: Optional[Dict[str, int]] = None,
+) -> Statement:
+    """A fresh statement with the right-hand side folded."""
+    return Statement(
+        destination=statement.destination,
+        expression=fold_expr(
+            statement.expression, supported_ops=supported_ops, rewrites=rewrites
+        ),
+    )
+
+
+def split_rewrite_counts(rewrites: Dict[str, int]) -> Tuple[int, int]:
+    """``(constant folds, algebraic rewrites)`` totals of a rewrite-count
+    dict (the split :class:`~repro.opt.pipeline.OptStats` reports)."""
+    folds = sum(count for rule, count in rewrites.items() if rule in FOLD_RULES)
+    algebraic = sum(
+        count for rule, count in rewrites.items() if rule not in FOLD_RULES
+    )
+    return folds, algebraic

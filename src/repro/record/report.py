@@ -31,6 +31,12 @@ def compilation_report(result) -> str:
                  % (metrics.operation_count, metrics.spill_count))
     lines.append("selection cost:   %5d over %d statement(s)"
                  % (metrics.selection_cost, metrics.statement_count))
+    if "opt" in result.pass_timings:
+        lines.append("optimizer:        %5d -> %d IR node(s), %d rewrite(s), "
+                     "%d cse hit(s), %d temp(s)"
+                     % (metrics.opt_nodes_before, metrics.opt_nodes_after,
+                        metrics.opt_folds, metrics.opt_cse_hits,
+                        metrics.opt_temps))
     lines.append("labeller:         %5d node state(s), memo hit rate %.1f%% "
                  "(tables built in %.6f s)"
                  % (metrics.nodes_labelled, 100.0 * metrics.label_memo_hit_rate,

@@ -56,8 +56,11 @@ class CompileRequest:
     Exactly one of ``source`` (program text) or ``kernel`` (a DSPStone
     kernel name) must be set.  ``preset`` selects a named pipeline
     ablation; ``config`` pins an explicit :class:`PipelineConfig`
-    (mutually exclusive with ``preset``).  ``request_id`` is echoed back
-    in the response so callers can correlate out-of-order streams.
+    (mutually exclusive with ``preset``).  ``opt`` overrides the IR
+    optimizer knob of whichever config the request resolves to
+    (``"opt": false`` in a batch job A/Bs the optimizer per request).
+    ``request_id`` is echoed back in the response so callers can
+    correlate out-of-order streams.
     """
 
     target: str
@@ -66,6 +69,7 @@ class CompileRequest:
     name: Optional[str] = None
     preset: Optional[str] = None
     config: Optional[PipelineConfig] = None
+    opt: Optional[bool] = None
     binding_overrides: Dict[str, str] = field(default_factory=dict)
     request_id: Optional[str] = None
 
@@ -81,12 +85,17 @@ class CompileRequest:
             raise RequestError("pass either preset= or config=, not both")
 
     def resolved_config(self) -> PipelineConfig:
-        """The pipeline config this request asks for (presets resolved)."""
+        """The pipeline config this request asks for (presets resolved,
+        the ``opt`` override applied last)."""
         if self.config is not None:
-            return self.config
-        if self.preset is not None:
-            return PipelineConfig.preset(self.preset)
-        return PipelineConfig()
+            config = self.config
+        elif self.preset is not None:
+            config = PipelineConfig.preset(self.preset)
+        else:
+            config = PipelineConfig()
+        if self.opt is not None:
+            config = config.with_updates(use_optimizer=self.opt)
+        return config
 
     def display_name(self, index: int = 0) -> str:
         if self.name:
@@ -107,6 +116,8 @@ class CompileRequest:
             data["preset"] = self.preset
         if self.config is not None:
             data["config"] = self.config.to_dict()
+        if self.opt is not None:
+            data["opt"] = self.opt
         if self.binding_overrides:
             data["binding_overrides"] = dict(self.binding_overrides)
         if self.request_id is not None:
@@ -129,6 +140,7 @@ class CompileRequest:
             "name",
             "preset",
             "config",
+            "opt",
             "binding_overrides",
             "request_id",
         }
@@ -138,6 +150,9 @@ class CompileRequest:
                 "unknown compile-request field(s): %s" % ", ".join(unknown)
             )
         config = data.get("config")
+        opt = data.get("opt")
+        if opt is not None and not isinstance(opt, bool):
+            raise RequestError('"opt" must be a JSON boolean')
         request = cls(
             target=data.get("target", ""),
             source=data.get("source"),
@@ -145,6 +160,7 @@ class CompileRequest:
             name=data.get("name"),
             preset=data.get("preset"),
             config=None if config is None else PipelineConfig.from_dict(config),
+            opt=opt,
             binding_overrides=dict(data.get("binding_overrides") or {}),
             request_id=data.get("request_id"),
         )

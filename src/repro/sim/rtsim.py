@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.codegen.selection import RTInstance, StatementCode
-from repro.ir.expr import apply_operator, wrap_word
+from repro.ir import apply_operator, wrap_word
 from repro.ir.program import BasicBlock
 from repro.selector.subject import SubjectNode
 

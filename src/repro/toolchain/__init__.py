@@ -44,6 +44,7 @@ from repro.toolchain.passes import (
     CompactionPass,
     CompilationState,
     EncodingPass,
+    OptimizationPass,
     Pass,
     PassContext,
     PassManager,
@@ -76,6 +77,7 @@ __all__ = [
     "CompileMetrics",
     "Diagnostic",
     "EncodingPass",
+    "OptimizationPass",
     "PRESETS",
     "Pass",
     "PassContext",

@@ -1,13 +1,14 @@
 """The code-generation pass pipeline.
 
-The RECORD backend is a fixed sequence of phases -- code selection, list
-scheduling, spill insertion, compaction, instruction encoding.  This
-module makes each phase a named :class:`Pass` over a
+The RECORD backend is a fixed sequence of phases -- IR optimization, code
+selection, list scheduling, spill insertion, compaction, instruction
+encoding.  This module makes each phase a named :class:`Pass` over a
 :class:`CompilationState`, ordered by a :class:`PassManager`, configured
 by a :class:`PipelineConfig`.  The four raw booleans of the legacy
 :class:`repro.record.compiler.CompilerOptions` map 1:1 onto configs (see
 :meth:`PipelineConfig.from_options`), and the ablation experiments of the
-paper are available as named presets (:data:`PRESETS`).
+paper are available as named presets (:data:`PRESETS`), extended with
+``no-opt`` (selection on raw lowered trees, the pre-optimizer pipeline).
 """
 
 from __future__ import annotations
@@ -23,6 +24,7 @@ from repro.codegen.spill import insert_spills
 from repro.diagnostics import Diagnostic, PipelineError
 from repro.ir.binding import ResourceBinding
 from repro.ir.program import Program
+from repro.opt.pipeline import OptPipeline, OptStats
 from repro.selector.burs import CodeSelector
 
 
@@ -36,9 +38,13 @@ class PipelineConfig:
     """Declarative description of one backend pipeline.
 
     ``allow_chained`` and ``use_expanded_templates`` restrict the *grammar*
-    the selector uses; ``use_scheduling`` / ``use_compaction`` toggle the
+    the selector uses; ``use_optimizer`` toggles the IR optimizer ahead of
+    selection; ``use_scheduling`` / ``use_compaction`` toggle the
     corresponding passes; ``encode`` appends the binary instruction
-    encoder.  Frozen (hashable) so configs can key selector caches.
+    encoder.  Frozen (hashable) so configs can key selector caches and
+    session pools; the serialized form (``to_dict``) carries the optimizer
+    knob, so result hashes/artifacts distinguish optimized compiles
+    independently of the (purely target-side) retarget cache.
     """
 
     allow_chained: bool = True
@@ -46,9 +52,13 @@ class PipelineConfig:
     use_scheduling: bool = True
     use_compaction: bool = True
     encode: bool = False
+    use_optimizer: bool = True
 
     def pass_names(self) -> List[str]:
-        names = ["select"]
+        names = []
+        if self.use_optimizer:
+            names.append("opt")
+        names.append("select")
         if self.use_scheduling:
             names.append("schedule")
         names.append("spill")
@@ -109,13 +119,16 @@ class PipelineConfig:
 
 #: The ablation presets of the paper's experiments (section 4): ``full``
 #: is the complete RECORD flow, ``conventional`` the baseline compiler of
-#: figure 2, and each ``no-*`` preset disables exactly one mechanism.
+#: figure 2, and each ``no-*`` preset disables exactly one mechanism
+#: (``no-opt`` hands raw lowered trees straight to the selector, the
+#: pre-optimizer pipeline).
 PRESETS: Dict[str, PipelineConfig] = {
     "full": PipelineConfig(),
     "no-chained": PipelineConfig(allow_chained=False),
     "no-expansion": PipelineConfig(use_expanded_templates=False),
     "no-scheduling": PipelineConfig(use_scheduling=False),
     "no-compaction": PipelineConfig(use_compaction=False),
+    "no-opt": PipelineConfig(use_optimizer=False),
     "conventional": PipelineConfig(
         allow_chained=False,
         use_expanded_templates=False,
@@ -164,6 +177,9 @@ class CompilationState:
     # Labeller statistics of this run's selection pass (nodes labelled,
     # memo hits/misses, table provenance); flows into CompileMetrics.
     selection_stats: Dict[str, float] = field(default_factory=dict)
+    # Statistics of this run's IR optimization pass (None when the
+    # optimizer did not run); flows into CompileMetrics as well.
+    opt_stats: Optional[OptStats] = None
 
     def add_diagnostic(
         self, severity: str, message: str, phase: str = ""
@@ -198,6 +214,64 @@ class Pass:
 
     def __repr__(self) -> str:
         return "<%s %r>" % (type(self).__name__, self.name)
+
+
+def introducible_ops(grammar) -> set:
+    """Operator signatures the optimizer may *introduce* on this target.
+
+    Operator presence in the terminal vocabulary is not enough: target
+    grammars frequently support a shifter only with hard-wired amounts
+    (e.g. ``shl(x, Const(1))`` from an ``x + x`` datapath), so a
+    ``mul x 8 -> shl x 3`` rewrite would make a coverable tree
+    uncoverable.  This scans the RT rule patterns and returns precise
+    signatures: ``"shl"`` when the shift amount is an arbitrary constant
+    operand, ``"shl:1"`` when only the amount 1 is hard-wired.
+    """
+    from repro.grammar.grammar import PatTerm
+
+    signatures = set()
+    for rule in grammar.rules:
+        pattern = rule.pattern
+        if not isinstance(pattern, PatTerm) or pattern.name not in ("shl", "shr"):
+            continue
+        if len(pattern.operands) != 2:
+            continue
+        amount = pattern.operands[1]
+        if isinstance(amount, PatTerm) and amount.name == "Const":
+            if amount.value is None:
+                signatures.add(pattern.name)
+            else:
+                signatures.add("%s:%d" % (pattern.name, amount.value))
+    return signatures
+
+
+class OptimizationPass(Pass):
+    """IR optimization ahead of selection: constant folding, algebraic
+    rewriting, cross-statement CSE and dead-temporary elimination.
+
+    Replaces ``state.program`` with a *fresh* optimized program (the
+    optimizer guarantees no statement/expression aliasing with the
+    input).  The rewrite itself is target-independent; the target's
+    grammar only *gates* operator-introducing strength reductions (see
+    :func:`introducible_ops`), so a ``mul x 2`` never becomes a shift
+    the processor cannot execute.
+    """
+
+    name = "opt"
+
+    def __init__(self, pipeline: Optional[OptPipeline] = None):
+        self.pipeline = pipeline if pipeline is not None else OptPipeline()
+
+    def run(self, state: CompilationState, context: PassContext) -> None:
+        supported_ops = None
+        selector = context.selector
+        if selector is not None:
+            supported_ops = introducible_ops(selector.grammar)
+        program, stats = self.pipeline.run(
+            state.program, supported_ops=supported_ops
+        )
+        state.program = program
+        state.opt_stats = stats
 
 
 class SelectionPass(Pass):
@@ -312,7 +386,10 @@ class PassManager:
 
     @classmethod
     def from_config(cls, config: PipelineConfig) -> "PassManager":
-        passes: List[Pass] = [SelectionPass()]
+        passes: List[Pass] = []
+        if config.use_optimizer:
+            passes.append(OptimizationPass())
+        passes.append(SelectionPass())
         if config.use_scheduling:
             passes.append(SchedulingPass())
         passes.append(SpillPass())

@@ -54,6 +54,14 @@ class CompileMetrics:
     how many node states this compile materialized, which fraction came
     out of the structural memo, and how long the offline table generation
     this selector runs on took at retarget time.
+
+    The optimizer block (``opt_nodes_before``, ``opt_nodes_after``,
+    ``opt_folds``, ``opt_cse_hits``, ``opt_temps``) summarizes the IR
+    optimization pass that ran ahead of selection: IR node counts in/out,
+    rewrites applied (constant folds plus algebraic simplifications), CSE
+    occurrences served from a temporary, and temporaries materialized.
+    All zeros when the pipeline was configured with
+    ``use_optimizer=False``.
     """
 
     code_size: int
@@ -65,6 +73,11 @@ class CompileMetrics:
     nodes_labelled: int = 0
     label_memo_hit_rate: float = 0.0
     tables_build_time_s: float = 0.0
+    opt_nodes_before: int = 0
+    opt_nodes_after: int = 0
+    opt_folds: int = 0
+    opt_cse_hits: int = 0
+    opt_temps: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -77,6 +90,11 @@ class CompileMetrics:
             "nodes_labelled": self.nodes_labelled,
             "label_memo_hit_rate": self.label_memo_hit_rate,
             "tables_build_time_s": self.tables_build_time_s,
+            "opt_nodes_before": self.opt_nodes_before,
+            "opt_nodes_after": self.opt_nodes_after,
+            "opt_folds": self.opt_folds,
+            "opt_cse_hits": self.opt_cse_hits,
+            "opt_temps": self.opt_temps,
         }
 
     @classmethod
@@ -91,6 +109,11 @@ class CompileMetrics:
             nodes_labelled=data.get("nodes_labelled", 0),
             label_memo_hit_rate=data.get("label_memo_hit_rate", 0.0),
             tables_build_time_s=data.get("tables_build_time_s", 0.0),
+            opt_nodes_before=data.get("opt_nodes_before", 0),
+            opt_nodes_after=data.get("opt_nodes_after", 0),
+            opt_folds=data.get("opt_folds", 0),
+            opt_cse_hits=data.get("opt_cse_hits", 0),
+            opt_temps=data.get("opt_temps", 0),
         )
 
 
@@ -172,6 +195,7 @@ class CompilationResult:
         """Build a result from one finished :class:`CompilationState`."""
         instances = state.all_instances()
         selection_stats = getattr(state, "selection_stats", None) or {}
+        opt_stats = getattr(state, "opt_stats", None)
         metrics = CompileMetrics(
             code_size=code_size(state.words),
             operation_count=len(instances),
@@ -182,6 +206,11 @@ class CompilationResult:
             nodes_labelled=int(selection_stats.get("nodes_labelled", 0)),
             label_memo_hit_rate=float(selection_stats.get("memo_hit_rate", 0.0)),
             tables_build_time_s=float(selection_stats.get("tables_build_time_s", 0.0)),
+            opt_nodes_before=opt_stats.nodes_before if opt_stats else 0,
+            opt_nodes_after=opt_stats.nodes_after if opt_stats else 0,
+            opt_folds=(opt_stats.folds + opt_stats.algebraic) if opt_stats else 0,
+            opt_cse_hits=opt_stats.cse_hits if opt_stats else 0,
+            opt_temps=opt_stats.temps_introduced if opt_stats else 0,
         )
         return cls(
             name=program.name,

@@ -11,6 +11,10 @@ compilations::
     compiled = session.compile("int a, b, c, d; d = c + a * b;")
     batch = session.compile_many([src1, src2, src3])
 
+The default pipeline runs the :mod:`repro.opt` IR optimizer ahead of
+selection (disable per session with ``PipelineConfig(use_optimizer=False)``
+or the ``no-opt`` preset for the exact pre-optimizer pipeline).
+
 :class:`Toolchain` binds a :class:`~repro.toolchain.registry.TargetRegistry`
 (where the HDL comes from) to a :class:`~repro.toolchain.cache.RetargetCache`
 (whether retargeting re-runs) and hands out sessions.  Every compile
@@ -115,8 +119,11 @@ class Session:
             config=self.config,
         )
         state: CompilationState = self.pass_manager.run(program, context)
+        # state.program is the program the backend actually selected --
+        # the optimizer's fresh rewrite when the opt pass ran (it never
+        # aliases the caller's program), the input program otherwise.
         return CompilationResult.from_state(
-            program=program,
+            program=state.program,
             processor=self.processor,
             state=state,
             binding=binding,

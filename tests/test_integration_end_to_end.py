@@ -90,8 +90,13 @@ class TestCrossTargetCompilation:
         assert compiled.code_size > 0
         rng = random.Random(42)
         env = {name: rng.randint(-50, 50) for name in ("a", "b", "c", "d")}
-        reference = compiled.program.single_block().execute(env)
-        simulated = simulate_statement_code(compiled.statement_codes, env)
+        # Reference-execute the *source* program, not compiled.program:
+        # the latter is the optimizer's output, which would make this
+        # check blind to optimizer miscompiles.
+        from repro.frontend.lowering import lower_to_program
+
+        reference = lower_to_program(self.SOURCE, name="cross").single_block().execute(env)
+        simulated = simulate_statement_code(list(compiled.statement_codes), env)
         mask = 0xFFFF
         for key, value in reference.items():
             assert (value & mask) == (simulated.get(key, 0) & mask), (target, key)

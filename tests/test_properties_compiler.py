@@ -52,13 +52,19 @@ def test_generated_code_matches_reference_execution(tms_compiler, source, seed):
         compiled = tms_compiler.compile_source(source, name="random")
     except CodeGenerationError:
         pytest.skip("expression not coverable on this target")
-    block = compiled.program.single_block()
+    # Reference-execute the *original* lowered program, not the one the
+    # backend selected: the default pipeline runs the IR optimizer first,
+    # so this property also pins the optimizer's rewrites to the source
+    # semantics on random programs.
+    from repro.frontend.lowering import lower_to_program
+
+    block = lower_to_program(source, name="random").single_block()
     import random
 
     rng = random.Random(seed)
     environment = {name: rng.randint(-100, 100) for name in _VARIABLES}
     reference = block.execute(environment)
-    simulated = simulate_statement_code(compiled.statement_codes, environment)
+    simulated = simulate_statement_code(list(compiled.statement_codes), environment)
     mask = 0xFFFF
     for key, value in reference.items():
         assert (value & mask) == (simulated.get(key, 0) & mask)
@@ -66,9 +72,15 @@ def test_generated_code_matches_reference_execution(tms_compiler, source, seed):
 
 @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 @given(source=_programs())
-def test_code_size_at_least_one_instruction_per_statement(tms_compiler, source):
+def test_code_size_at_least_one_instruction_per_statement(tms_result, source):
+    # This property is about selection/compaction, so it runs the raw
+    # pre-optimizer pipeline: the IR optimizer may legitimately fold a
+    # statement like ``v0 = v1 + 0`` into a zero-instruction copy.
+    from repro.toolchain import PipelineConfig, Session
+
+    session = Session(tms_result, config=PipelineConfig(use_optimizer=False))
     try:
-        compiled = tms_compiler.compile_source(source, name="random")
+        compiled = session.compile(source, name="random")
     except CodeGenerationError:
         pytest.skip("expression not coverable on this target")
     # every statement of these programs computes something, so it needs at
@@ -76,6 +88,10 @@ def test_code_size_at_least_one_instruction_per_statement(tms_compiler, source):
     # of statements with non-trivial right-hand sides
     assert compiled.operation_count >= compiled.program.statement_count()
     assert compiled.code_size <= compiled.operation_count
+    # The optimizer, when it does run, must never be worse on either axis.
+    optimized = Session(tms_result).compile(source, name="random")
+    assert optimized.code_size <= compiled.code_size
+    assert optimized.operation_count <= compiled.operation_count
 
 
 @settings(max_examples=30, deadline=None)

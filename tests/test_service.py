@@ -84,6 +84,36 @@ class TestRequests:
             target="demo", kernel="fir"
         ).resolved_config() == PipelineConfig()
 
+    def test_opt_false_overrides_any_config(self):
+        assert CompileRequest(
+            target="demo", kernel="fir", opt=False
+        ).resolved_config() == PipelineConfig(use_optimizer=False)
+        assert CompileRequest(
+            target="demo", kernel="fir", preset="no-scheduling", opt=False
+        ).resolved_config() == PipelineConfig(
+            use_scheduling=False, use_optimizer=False
+        )
+        assert CompileRequest(
+            target="demo",
+            kernel="fir",
+            config=PipelineConfig(use_optimizer=False),
+            opt=True,
+        ).resolved_config() == PipelineConfig()
+
+    def test_opt_field_round_trips(self):
+        request = CompileRequest(target="demo", kernel="fir", opt=False)
+        data = request.to_dict()
+        assert data["opt"] is False
+        assert CompileRequest.from_dict(data) == request
+        # Omitted means "pipeline default" and is not serialized.
+        assert "opt" not in CompileRequest(target="demo", kernel="fir").to_dict()
+
+    def test_opt_field_must_be_boolean(self):
+        with pytest.raises(RequestError):
+            CompileRequest.from_dict(
+                {"target": "demo", "kernel": "fir", "opt": "no"}
+            )
+
 
 class TestSessionPool:
     def test_sessions_are_reused_per_key(self):
@@ -172,6 +202,40 @@ class TestCompileService:
         assert service.pool.retarget_count == len(distinct_targets)
         assert service.stats()["completed"] == len(requests) - 1
         assert service.stats()["failed"] == 1
+
+    def test_opt_ab_requests_share_one_retarget(self):
+        """The service-layer A/B knob: the same source with and without
+        the optimizer, one retargeting run, never-worse optimized code."""
+        source = (
+            "int a, b, c, d, e, y0, y1;\n"
+            "y0 = a * b + c * d + e;\n"
+            "y1 = a * b + c * d - e;\n"
+        )
+        service = CompileService()
+        responses = service.run_batch(
+            [
+                CompileRequest(
+                    target="demo", source=source, name="ab", request_id="opt-on"
+                ),
+                CompileRequest(
+                    target="demo",
+                    source=source,
+                    name="ab",
+                    opt=False,
+                    request_id="opt-off",
+                ),
+            ]
+        )
+        assert all(r.ok for r in responses)
+        with_opt, without = responses
+        assert with_opt.result.config.use_optimizer
+        assert not without.result.config.use_optimizer
+        assert with_opt.result.code_size <= without.result.code_size
+        assert with_opt.result.metrics.opt_temps >= 1
+        assert without.result.metrics.opt_temps == 0
+        # Distinct configs, distinct pooled sessions, one retarget.
+        assert service.pool.retarget_count == 1
+        assert service.pool.stats()["sessions"] == 2
 
     def test_unknown_target_is_isolated(self):
         service = CompileService()
@@ -280,6 +344,44 @@ class TestBatchCli:
         assert first["ok"] and first["request_id"] == "a"
         assert first["result"]["metrics"]["code_size"] > 0
 
+    def test_batch_command_honours_per_job_opt_field(self, tmp_path, capsys):
+        """``"opt": false`` jobs run the pre-optimizer pipeline, so one
+        batch can A/B the optimizer under load."""
+        from repro.cli import main
+
+        source = (
+            "int a, b, c, d, e, y0, y1;"
+            " y0 = a * b + c * d + e;"
+            " y1 = a * b + c * d - e;"
+        )
+        jobs_path = self._write_jobs(
+            tmp_path,
+            [
+                json.dumps(
+                    {"target": "demo", "source": source, "request_id": "on"}
+                ),
+                json.dumps(
+                    {
+                        "target": "demo",
+                        "source": source,
+                        "opt": False,
+                        "request_id": "off",
+                    }
+                ),
+            ],
+        )
+        assert main(["batch", jobs_path, "--no-cache"]) == 0
+        lines = [line for line in capsys.readouterr().out.splitlines() if line.strip()]
+        responses = {json.loads(line)["request_id"]: json.loads(line) for line in lines}
+        assert responses["on"]["ok"] and responses["off"]["ok"]
+        assert responses["on"]["result"]["config"]["use_optimizer"] is True
+        assert responses["off"]["result"]["config"]["use_optimizer"] is False
+        assert (
+            responses["on"]["result"]["metrics"]["code_size"]
+            <= responses["off"]["result"]["metrics"]["code_size"]
+        )
+        assert responses["off"]["result"]["metrics"]["opt_temps"] == 0
+
     def test_batch_command_reports_failures_with_exit_code(self, tmp_path, capsys):
         from repro.cli import main
 
@@ -315,7 +417,7 @@ class TestBatchCli:
         data = json.loads(capsys.readouterr().out)
         assert data["processor"] == "demo"
         assert data["name"] == "real_update"
-        assert set(data["pass_timings"]) == {"select", "schedule", "spill", "compact"}
+        assert set(data["pass_timings"]) == {"opt", "select", "schedule", "spill", "compact"}
 
     def test_compile_timings_flag(self, capsys):
         from repro.cli import main

@@ -108,6 +108,10 @@ class TestTargetRegistry:
 class TestPipeline:
     def test_default_pass_order(self):
         manager = PassManager.from_config(PipelineConfig())
+        assert manager.names() == ["opt", "select", "schedule", "spill", "compact"]
+
+    def test_no_opt_preset_drops_optimizer(self):
+        manager = PassManager.from_config(PipelineConfig.preset("no-opt"))
         assert manager.names() == ["select", "schedule", "spill", "compact"]
 
     def test_config_pass_names_match_manager(self):
@@ -149,7 +153,7 @@ class TestPipeline:
                 pass
 
         manager.insert_after("select", MarkerPass())
-        assert manager.names()[1] == "marker"
+        assert manager.names()[manager.names().index("select") + 1] == "marker"
         manager.remove("marker")
         assert "marker" not in manager.names()
         with pytest.raises(PipelineError):
