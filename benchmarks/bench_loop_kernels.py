@@ -1,0 +1,171 @@
+"""Loop-form vs. unrolled DSPStone kernels: compile time and code size.
+
+The loop kernels compile to multi-block CFGs (branch words, one loop body)
+while their unrolled counterparts are straight-line blocks repeated per
+iteration.  This benchmark quantifies the trade on the TMS320C25:
+
+* **code size** -- a loop form carries branch/nop words but emits its body
+  once, so from a modest trip count on it must be *smaller* than the
+  unrolled kernel (asserted: total loop-form code size below the unrolled
+  total);
+* **compile time** -- the loop form hands the selector one body instead of
+  N copies; wall clock for full-suite compile passes is reported for both
+  forms (unasserted; the loop form is typically faster to compile).
+
+A differential harness first proves every loop kernel RT-simulates
+observably equal to its unrolled counterpart at the documented trip count,
+so a measured win can never be bought with a wrong answer.
+
+Run as a script to merge a ``loop_kernels`` section into
+``BENCH_results.json`` (created if absent) for the CI artifact trail::
+
+    python benchmarks/bench_loop_kernels.py --output BENCH_results.json
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict
+
+from repro.dspstone import get_kernel, kernel_program, loop_kernel_names
+from repro.opt import TEMP_PREFIX
+from repro.toolchain import Session
+
+#: Compile passes per timing measurement.
+TIMING_PASSES = 5
+
+
+def _seed_environment(program) -> Dict[str, int]:
+    environment: Dict[str, int] = {}
+    for name, size in sorted(program.arrays.items()):
+        for index in range(size):
+            environment["%s[%d]" % (name, index)] = (index * 19 + 11) % 89 + 1
+    for position, scalar in enumerate(sorted(program.scalars)):
+        environment[scalar] = (position * 7 + 2) % 40
+    return environment
+
+
+def assert_loop_forms_equivalent(session: Session) -> None:
+    """Differential harness: every loop kernel simulates observably equal
+    to its unrolled counterpart (and to IR reference execution)."""
+    for name in loop_kernel_names():
+        kernel = get_kernel(name)
+        loop_program = kernel_program(name)
+        unrolled_program = kernel_program(kernel.unrolled)
+        environment = _seed_environment(loop_program)
+        loop_result = session.compile_program(loop_program)
+        loop_out = loop_result.simulate(dict(environment))
+        reference = loop_program.execute(dict(environment))
+        for key, value in reference.items():
+            if key.startswith(TEMP_PREFIX):
+                continue
+            assert loop_out.get(key, 0) == value, (name, key)
+        unrolled_out = session.compile_program(unrolled_program).simulate(
+            dict(environment)
+        )
+        for key in unrolled_program.all_variables():
+            if key in loop_out:
+                assert loop_out[key] == unrolled_out.get(key, 0), (name, key)
+
+
+def measure_code_sizes(session: Session) -> Dict[str, Dict[str, int]]:
+    sizes: Dict[str, Dict[str, int]] = {}
+    for name in loop_kernel_names():
+        kernel = get_kernel(name)
+        sizes[name] = {
+            "loop": session.compile_program(kernel_program(name)).code_size,
+            "unrolled": session.compile_program(
+                kernel_program(kernel.unrolled)
+            ).code_size,
+        }
+    return sizes
+
+
+def measure_compile_time(session: Session, names) -> float:
+    programs = [kernel_program(name) for name in names]
+    for program in programs:  # warm caches / labelling memo
+        session.compile_program(program)
+    started = time.perf_counter()
+    for _ in range(TIMING_PASSES):
+        for program in programs:
+            session.compile_program(program)
+    return time.perf_counter() - started
+
+
+def run(tms_result) -> Dict[str, object]:
+    session = Session(tms_result)
+    assert_loop_forms_equivalent(session)
+    sizes = measure_code_sizes(session)
+    loop_names = loop_kernel_names()
+    unrolled_names = [get_kernel(name).unrolled for name in loop_names]
+    time_loop = measure_compile_time(session, loop_names)
+    time_unrolled = measure_compile_time(session, unrolled_names)
+    loop_total = sum(entry["loop"] for entry in sizes.values())
+    unrolled_total = sum(entry["unrolled"] for entry in sizes.values())
+    return {
+        "kernels": sizes,
+        "code_size_loop_total": loop_total,
+        "code_size_unrolled_total": unrolled_total,
+        "code_size_ratio": round(loop_total / unrolled_total, 4)
+        if unrolled_total
+        else 0.0,
+        "compile_time_loop_s": round(time_loop, 6),
+        "compile_time_unrolled_s": round(time_unrolled, 6),
+        "compile_speedup": round(time_unrolled / time_loop, 3) if time_loop else 0.0,
+        "timing_passes": TIMING_PASSES,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The asserted benchmark (CI smoke mode runs exactly this)
+# ---------------------------------------------------------------------------
+
+
+def test_loop_forms_equivalent_and_smaller(tms_result):
+    results = run(tms_result)
+    # Loop bodies are emitted once: across the suite the loop forms must
+    # be smaller than their fully unrolled counterparts even after paying
+    # for branch and nop words.
+    assert results["code_size_loop_total"] < results["code_size_unrolled_total"], (
+        "loop forms are not smaller: %d vs %d words"
+        % (results["code_size_loop_total"], results["code_size_unrolled_total"])
+    )
+
+
+# ---------------------------------------------------------------------------
+# BENCH_results.json writer (CI artifact; merges into the existing file)
+# ---------------------------------------------------------------------------
+
+
+def main(output: str = "BENCH_results.json") -> dict:
+    from repro.targets import target_hdl_source
+    from repro.toolchain import RetargetCache
+
+    tms_result, _hit = RetargetCache(directory=False).get_or_retarget(
+        target_hdl_source("tms320c25")
+    )
+    section = run(tms_result)
+    results = {"schema": 1}
+    if os.path.exists(output):
+        try:
+            with open(output, "r") as handle:
+                results = json.load(handle)
+        except ValueError:
+            pass
+    results["loop_kernels"] = {"tms320c25": section}
+    with open(output, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print("wrote %s" % output)
+    print(json.dumps(section, indent=2))
+    return results
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_results.json")
+    main(parser.parse_args().output)

@@ -15,12 +15,17 @@ we substitute:
 """
 
 from repro.baselines.naive import GreedyMaximalMunch, conventional_compiler, conventional_options
-from repro.baselines.reference import hand_reference_size, hand_reference_table
+from repro.baselines.reference import (
+    hand_reference_size,
+    hand_reference_table,
+    has_hand_reference_size,
+)
 
 __all__ = [
     "GreedyMaximalMunch",
     "conventional_compiler",
     "conventional_options",
     "hand_reference_size",
+    "has_hand_reference_size",
     "hand_reference_table",
 ]

@@ -43,6 +43,14 @@ _HAND_SIZES: Dict[str, int] = {
 }
 
 
+def has_hand_reference_size(kernel_name: str) -> bool:
+    """Whether figure 2 records a hand-written size for this kernel.
+
+    Only the ten unrolled figure-2 kernels have one; the loop-form
+    kernels do not (the paper's experiment is on unrolled blocks)."""
+    return kernel_name in _HAND_SIZES
+
+
 def hand_reference_size(kernel_name: str) -> int:
     """Hand-written instruction count for one kernel (100% of figure 2)."""
     try:

@@ -12,6 +12,7 @@ Usage (also available as ``python -m repro ...``)::
     python -m repro compile tms320c25 --kernel fir --preset no-chained
     python -m repro compile tms320c25 --kernel fir --json --timings
     python -m repro compile tms320c25 --kernel fir --no-opt
+    python -m repro compile tms320c25 --kernel fir_loop  # loop kernel -> labelled CFG
     python -m repro opt prog.c                   # IR optimizer before/after
     python -m repro opt --kernel fir --stages fold,cse
     python -m repro batch jobs.jsonl             # concurrent batch service
@@ -37,9 +38,9 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.baselines import hand_reference_size
+from repro.baselines import hand_reference_size, has_hand_reference_size
 from repro.diagnostics import ReproError, error_report
-from repro.dspstone import all_kernel_names, get_kernel, kernel_program
+from repro.dspstone import all_kernel_names, get_kernel, kernel_program, loop_kernel_names
 from repro.grammar import grammar_to_bnf
 from repro.record.report import (
     compilation_report,
@@ -89,7 +90,15 @@ def _cmd_kernels(_args) -> int:
     for name in all_kernel_names():
         kernel = get_kernel(name)
         parameters = ", ".join("%s=%d" % (k, v) for k, v in kernel.parameters.items())
-        print("%-20s %-45s %s" % (name, kernel.description, parameters))
+        print("%-22s %-55s %s" % (name, kernel.description, parameters))
+    print()
+    print("loop forms (compile to multi-block CFGs; each simulates equal")
+    print("to its unrolled counterpart at the documented trip count):")
+    for name in loop_kernel_names():
+        kernel = get_kernel(name)
+        parameters = ", ".join("%s=%d" % (k, v) for k, v in kernel.parameters.items())
+        print("%-22s %-55s %s  (unrolled: %s)" % (
+            name, kernel.description, parameters, kernel.unrolled))
     return 0
 
 
@@ -144,7 +153,9 @@ def _cmd_compile(args) -> int:
     print(compiled.listing())
     print("code size: %d instruction words (%d RT operations, %d spills)" % (
         compiled.code_size, compiled.operation_count, compiled.spill_count))
-    if args.kernel:
+    if args.kernel and has_hand_reference_size(args.kernel):
+        # Only the unrolled figure-2 kernels have a hand-written size;
+        # loop-form kernels print the listing and metrics alone.
         hand = hand_reference_size(args.kernel)
         print("relative to hand-written reference (%d words): %.0f%%" % (
             hand, 100.0 * compiled.code_size / hand))
@@ -181,16 +192,24 @@ def _cmd_opt(args) -> int:
     except ReproError as error:
         raise SystemExit("error: %s" % error_report(error))
     optimized, stats = pipeline.run(program)
+
+    def _print_program(prog) -> None:
+        multi_block = not prog.is_straight_line()
+        for block in prog.blocks:
+            if multi_block:
+                print("  %s:" % block.name)
+            indent = "    " if multi_block else "  "
+            for statement in block.statements:
+                print("%s%s" % (indent, statement))
+            if block.terminator is not None:
+                print("%s%s" % (indent, block.terminator))
+
     print("== before (%d statements, %d IR nodes) ==" % (
         stats.statements_before, stats.nodes_before))
-    for block in program.blocks:
-        for statement in block.statements:
-            print("  %s" % statement)
+    _print_program(program)
     print("== after (%d statements, %d IR nodes) ==" % (
         stats.statements_after, stats.nodes_after))
-    for block in optimized.blocks:
-        for statement in block.statements:
-            print("  %s" % statement)
+    _print_program(optimized)
     print("stats: %d fold(s), %d algebraic rewrite(s), %d cse hit(s), "
           "%d temp(s) introduced, %d dead temp(s) removed" % (
               stats.folds, stats.algebraic, stats.cse_hits,

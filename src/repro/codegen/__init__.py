@@ -17,14 +17,27 @@ processor:
   from the per-RT execution conditions (binary partial instructions).
 """
 
-from repro.codegen.selection import CodeGenerationError, RTInstance, StatementCode, select_statement, select_block
+from repro.codegen.selection import (
+    CONTROL_KINDS,
+    BlockCode,
+    CodeGenerationError,
+    RTInstance,
+    StatementCode,
+    is_control_code,
+    select_block,
+    select_block_code,
+    select_statement,
+    select_terminator,
+)
 from repro.codegen.schedule import schedule_instances
-from repro.codegen.spill import insert_spills
-from repro.codegen.compaction import InstructionWord, compact
+from repro.codegen.spill import count_spills, insert_spills
+from repro.codegen.compaction import InstructionWord, compact, compact_blocks
 from repro.codegen.emitter import format_listing
 from repro.codegen.encoding import EncodedWord, InstructionEncoder
 
 __all__ = [
+    "BlockCode",
+    "CONTROL_KINDS",
     "CodeGenerationError",
     "EncodedWord",
     "InstructionEncoder",
@@ -32,9 +45,14 @@ __all__ = [
     "RTInstance",
     "StatementCode",
     "compact",
+    "compact_blocks",
+    "count_spills",
     "format_listing",
     "insert_spills",
+    "is_control_code",
     "schedule_instances",
     "select_block",
+    "select_block_code",
     "select_statement",
+    "select_terminator",
 ]

@@ -16,17 +16,27 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.bdd.manager import BDD
-from repro.codegen.selection import RTInstance
+from repro.codegen.selection import BlockCode, RTInstance
 
 
 @dataclass
 class InstructionWord:
-    """One machine instruction word holding one or more parallel RTs."""
+    """One machine instruction word holding one or more parallel RTs.
+
+    ``label`` carries a basic-block label when this word is a branch
+    target (the first word of a block in a multi-block program).
+    """
 
     instances: List[RTInstance] = field(default_factory=list)
     condition: Optional[BDD] = None
+    label: Optional[str] = None
+
+    def is_control(self) -> bool:
+        return any(instance.is_control() for instance in self.instances)
 
     def describe(self) -> str:
+        if not self.instances:
+            return "nop"
         return " || ".join(instance.describe() for instance in self.instances)
 
     def partial_instruction(self) -> Dict[str, bool]:
@@ -65,7 +75,10 @@ def compact(instances: List[RTInstance], enabled: bool = True) -> List[Instructi
     """Pack an RT sequence into instruction words.
 
     With ``enabled=False`` every RT gets its own word (the uncompacted
-    baseline used in the ablation benchmarks).
+    baseline used in the ablation benchmarks).  Control transfers
+    (``jump``/``cbranch``) are packing barriers: a branch gets its own
+    word and nothing is packed across it, which keeps branches pinned at
+    block ends.
     """
     words: List[InstructionWord] = []
     if not enabled:
@@ -77,9 +90,9 @@ def compact(instances: List[RTInstance], enabled: bool = True) -> List[Instructi
     for instance in instances:
         condition = _condition_of(instance)
         placed = False
-        if words:
+        if words and not instance.is_control():
             word = words[-1]
-            if not _data_conflict(word, instance):
+            if not word.is_control() and not _data_conflict(word, instance):
                 combined = _combine_conditions(word.condition, condition)
                 if combined is None or combined.satisfiable():
                     word.instances.append(instance)
@@ -87,6 +100,29 @@ def compact(instances: List[RTInstance], enabled: bool = True) -> List[Instructi
                     placed = True
         if not placed:
             words.append(InstructionWord(instances=[instance], condition=condition))
+    return words
+
+
+def compact_blocks(
+    block_codes: List[BlockCode], enabled: bool = True
+) -> List[InstructionWord]:
+    """Pack a whole multi-block program, block by block.
+
+    Packing never crosses a block boundary; the first word of every block
+    carries the block's label so branch targets stay addressable in the
+    listing and the binary encoding.  An empty block still materializes
+    one (labelled) ``nop`` word to anchor its label.
+    """
+    words: List[InstructionWord] = []
+    for block_code in block_codes:
+        instances: List[RTInstance] = []
+        for code in block_code.all_codes():
+            instances.extend(code.instances)
+        block_words = compact(instances, enabled=enabled)
+        if not block_words:
+            block_words = [InstructionWord()]
+        block_words[0].label = block_code.name
+        words.extend(block_words)
     return words
 
 

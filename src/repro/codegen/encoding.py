@@ -88,9 +88,13 @@ class InstructionEncoder:
         return [self.encode_word(word) for word in words]
 
     def listing(self, words: List[InstructionWord]) -> str:
-        """A binary listing: one line per word and instruction memory."""
+        """A binary listing: one line per word and instruction memory.
+        Basic-block labels precede the word they address (the word index
+        doubles as the branch-target address)."""
         lines: List[str] = []
         for index, word in enumerate(words):
+            if word.label:
+                lines.append("%s:" % word.label)
             encodings = self.encode_word(word)
             rendered = "  ".join(
                 "%s:%s" % (encoding.memory, encoding.render()) for encoding in encodings

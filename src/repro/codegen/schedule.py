@@ -17,16 +17,34 @@ from repro.codegen.selection import RTInstance
 
 
 def _dependencies(instances: List[RTInstance]) -> Dict[int, Set[int]]:
-    """index -> set of indices that must execute before it (true data
-    dependences via value ids, plus original order for same-storage writes
-    so that later redefinitions never overtake earlier uses)."""
+    """index -> set of indices that must execute before it.
+
+    Edges: true data dependences via value ids; original order for
+    same-value-id writes (a compute followed by the store of the same
+    value); and storage *anti-dependences* -- a write to a storage
+    resource must stay after every earlier-in-program-order read from
+    that resource.  Without the anti-dependence edges the scheduler could
+    hoist a write over a read of the value currently held there (e.g. a
+    register-resident input variable); on targets without spill memory
+    (``spill_storage is None``) nothing downstream repairs that, so the
+    read silently consumes the clobbering value."""
     producer_of: Dict[str, int] = {}
+    readers_of_storage: Dict[str, List[int]] = {}
     depends: Dict[int, Set[int]] = {i: set() for i in range(len(instances))}
     for index, instance in enumerate(instances):
         for value_id, _storage in instance.operands:
             producer = producer_of.get(value_id)
             if producer is not None:
                 depends[index].add(producer)
+        # Anti dependence (WAR): this write must not overtake any earlier
+        # read of the same storage resource.  (An instruction's own reads
+        # happen before its write, so they are registered *after* the
+        # write edges are computed.)
+        for reader in readers_of_storage.get(instance.result_storage, ()):
+            if reader != index:
+                depends[index].add(reader)
+        for _value_id, storage in instance.operands:
+            readers_of_storage.setdefault(storage, []).append(index)
         # Preserve relative order of instructions producing the same value id
         # (e.g. a compute followed by the store of the same value).
         previous = producer_of.get(instance.result_id)

@@ -12,13 +12,13 @@ scheduling, spilling, compaction and simulation work.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.diagnostics import ReproError
 from repro.grammar.grammar import RuleKind, storage_of_nonterminal
 from repro.ir.binding import ResourceBinding
-from repro.ir.expr import Const, IRNode, Op, PortInput, VarRef
-from repro.ir.program import BasicBlock, Statement
+from repro.ir.expr import ArrayRef, Const, IRNode, Op, PortInput, VarRef
+from repro.ir.program import BasicBlock, CBranch, Jump, Statement, Terminator
 from repro.selector.burs import CodeSelector, Reduction, SelectionError
 from repro.selector.subject import SubjectNode
 
@@ -29,13 +29,26 @@ class CodeGenerationError(ReproError):
     phase = "selection"
 
 
+#: Instance kinds that transfer control rather than data.  They are
+#: pinned at block boundaries: the scheduler never reorders them, the
+#: spill pass passes them through, and the compactor treats them as
+#: packing barriers.
+CONTROL_KINDS = ("jump", "cbranch")
+
+#: Pseudo storage written by control transfers.
+PC_STORAGE = "@pc"
+
+
 @dataclass
 class RTInstance:
     """One selected register transfer (one machine operation).
 
-    ``kind`` is ``"rt"`` for template-derived operations and
+    ``kind`` is ``"rt"`` for template-derived operations,
     ``"spill_store"`` / ``"spill_reload"`` for transfers inserted by the
-    spill phase.
+    spill phase, and ``"jump"`` / ``"cbranch"`` for control transfers at
+    basic-block ends (``targets`` names the successor blocks,
+    ``condition`` carries the branch condition expression evaluated by
+    the processor's condition logic).
     """
 
     kind: str
@@ -49,28 +62,93 @@ class RTInstance:
     # RT-level simulator to know where the covered region of the tree ends.
     operand_nodes: List[SubjectNode] = field(default_factory=list)
     defines_variable: Optional[str] = None
+    # Runtime index expression of a dynamic array store ("a[i] = ..."):
+    # the defined element of array ``defines_variable``.
+    defines_index: Optional[IRNode] = None
+    # Control-transfer payload (kind "jump"/"cbranch").
+    targets: Tuple[str, ...] = ()
+    condition: Optional[IRNode] = None
+
+    def is_control(self) -> bool:
+        return self.kind in CONTROL_KINDS
 
     def reads(self) -> List[str]:
         return [value_id for value_id, _storage in self.operands]
 
     def describe(self) -> str:
+        if self.kind == "jump":
+            return "jump %s" % self.targets[0]
+        if self.kind == "cbranch":
+            return "if %s goto %s else %s" % (
+                self.condition,
+                self.targets[0],
+                self.targets[1],
+            )
         if self.kind != "rt":
             return "%s %s (%s)" % (self.kind, self.result_id, self.result_storage)
         pattern = self.template.render() if self.template is not None else "?"
-        suffix = " ; defines %s" % self.defines_variable if self.defines_variable else ""
+        if self.defines_variable:
+            if self.defines_index is not None:
+                suffix = " ; defines %s[%s]" % (self.defines_variable, self.defines_index)
+            else:
+                suffix = " ; defines %s" % self.defines_variable
+        else:
+            suffix = ""
         return "%s%s" % (pattern, suffix)
 
 
 @dataclass
 class StatementCode:
-    """The code selected for one statement."""
+    """The code selected for one statement.
 
-    statement: Statement
+    ``statement`` is the source :class:`~repro.ir.program.Statement`; for
+    the control-transfer pseudo-code at a block end it holds the block's
+    :class:`~repro.ir.program.Terminator` instead (both render through
+    ``str()``).
+    """
+
+    statement: object
     cost: int
     instances: List[RTInstance] = field(default_factory=list)
 
     def instruction_count(self) -> int:
         return len(self.instances)
+
+    def is_control(self) -> bool:
+        return any(instance.is_control() for instance in self.instances)
+
+
+def is_control_code(code: StatementCode) -> bool:
+    """True for the branch/jump pseudo-code pinned at a block end."""
+    return code.is_control()
+
+
+def is_multi_block(block_codes) -> bool:
+    """True when a block-code sequence describes a real CFG (anything but
+    the classic single block falling off the end).  The one place this
+    predicate lives: compaction (label or not) and result simulation
+    (CFG or straight-line path) must never disagree on it."""
+    block_codes = list(block_codes)
+    if not block_codes:
+        return False
+    return len(block_codes) > 1 or block_codes[0].terminator_code is not None
+
+
+@dataclass
+class BlockCode:
+    """The code selected for one basic block: the statement codes in
+    order plus the control-transfer pseudo-code of the terminator
+    (``None`` when the program halts after the block)."""
+
+    name: str
+    codes: List[StatementCode] = field(default_factory=list)
+    terminator_code: Optional[StatementCode] = None
+
+    def all_codes(self) -> List[StatementCode]:
+        codes = list(self.codes)
+        if self.terminator_code is not None:
+            codes.append(self.terminator_code)
+        return codes
 
 
 # ---------------------------------------------------------------------------
@@ -79,13 +157,18 @@ class StatementCode:
 
 
 def build_subject_tree(statement: Statement, binding: ResourceBinding) -> SubjectNode:
-    """The subject tree for a statement, rooted at an ``ASSIGN`` node."""
+    """The subject tree for a statement, rooted at an ``ASSIGN`` node.
+
+    A runtime-indexed array store uses the array's home storage as the
+    destination terminal -- at selection level it is an ordinary store;
+    the address computation runs on the processor's address-generation
+    logic and never enters tree covering."""
     destination = statement.destination
     if destination.startswith("@"):
         dest_label = destination[1:]
     else:
         dest_label = binding.storage_of(destination)
-    dest_node = SubjectNode(dest_label, payload=("dest", destination))
+    dest_node = SubjectNode(dest_label, payload=("dest", statement.destination_text()))
     expr_node = _build_expr_subject(statement.expression, binding)
     return SubjectNode("ASSIGN", [dest_node, expr_node])
 
@@ -110,6 +193,17 @@ def _build_expr_subject(expr: IRNode, binding: ResourceBinding) -> SubjectNode:
         if isinstance(node, VarRef):
             results.append(
                 SubjectNode(binding.storage_of(node.name), payload=("var", node.name))
+            )
+            continue
+        if isinstance(node, ArrayRef):
+            # Runtime-indexed element load: a plain read of the array's
+            # home storage as far as covering is concerned; the index
+            # expression rides along in the payload for the simulator.
+            results.append(
+                SubjectNode(
+                    binding.storage_of(node.name),
+                    payload=("aref", node.name, node.index),
+                )
             )
             continue
         if isinstance(node, PortInput):
@@ -146,6 +240,14 @@ def _value_id(node: SubjectNode, serials: Dict[int, str]) -> str:
             return "port:%s" % payload[1]
         if tag == "dest":
             return "dest:%s" % payload[1]
+        if tag == "aref":
+            # One unique id per runtime-indexed load occurrence: the
+            # element (hence the value) is unknown until execution, so
+            # occurrences never share an id.
+            key = id(node)
+            if key not in serials:
+                serials[key] = "aref:%d" % len(serials)
+            return serials[key]
     key = id(node)
     if key not in serials:
         serials[key] = "tmp:%d" % len(serials)
@@ -183,12 +285,47 @@ def _instances_from_cover(
         instances.append(instance)
         last_rt_for_node[id(node)] = instance
     # The last RT computing the root expression's value also defines the
-    # statement's destination variable.
+    # statement's destination variable (for a runtime-indexed store, the
+    # element selected by ``defines_index`` at execution time).
     if root_expr_node is not None and id(root_expr_node) in last_rt_for_node:
-        last_rt_for_node[id(root_expr_node)].defines_variable = statement.destination
+        defining = last_rt_for_node[id(root_expr_node)]
     elif instances:
-        instances[-1].defines_variable = statement.destination
+        defining = instances[-1]
+    else:
+        defining = None
+    if defining is not None:
+        defining.defines_variable = statement.destination
+        defining.defines_index = statement.destination_index
     return instances
+
+
+def _legalized_constant_store(statement: Statement) -> Optional[Statement]:
+    """A coverable rewrite of a bare-constant store for targets without an
+    immediate-to-storage path (e.g. the ``demo`` model).
+
+    ``dest = c`` becomes ``dest = (dest - dest) + c`` (plain
+    ``dest - dest`` for ``c == 0``): ``x - x`` is 0 for *every* current
+    value of ``x``, including an uninitialized one, so the rewrite is
+    observation-equivalent and needs only ALU subtraction -- which any
+    target that computes at all provides."""
+    if not isinstance(statement.expression, Const):
+        return None
+    if statement.destination.startswith("@"):
+        return None  # output ports cannot be read back
+    if statement.destination_index is not None:
+        self_read: IRNode = ArrayRef(
+            statement.destination, statement.destination_index
+        )
+    else:
+        self_read = VarRef(statement.destination)
+    zero: IRNode = Op("sub", (self_read, self_read))
+    value = statement.expression.value
+    expression = zero if value == 0 else Op("add", (zero, Const(value)))
+    return Statement(
+        destination=statement.destination,
+        expression=expression,
+        destination_index=statement.destination_index,
+    )
 
 
 def select_statement(
@@ -199,6 +336,18 @@ def select_statement(
     try:
         result = selector.select(subject)
     except SelectionError as error:
+        fallback = _legalized_constant_store(statement)
+        if fallback is not None:
+            try:
+                code = select_statement(fallback, selector, binding)
+            except CodeGenerationError:
+                pass  # report the original, clearer error below
+            else:
+                # Keep the *source* statement on the code object: listings
+                # and traces show "i = 0", the instances implement it.
+                return StatementCode(
+                    statement=statement, cost=code.cost, instances=code.instances
+                )
         raise CodeGenerationError(
             "statement %r cannot be covered on %s: %s"
             % (str(statement), selector.grammar.processor, error)
@@ -213,8 +362,52 @@ def select_statement(
     return StatementCode(statement=statement, cost=result.cost, instances=instances)
 
 
+def select_terminator(terminator: Terminator, block_name: str) -> StatementCode:
+    """The control-transfer pseudo-code for a block terminator.
+
+    Branches are not covered by the data-path tree grammar: the target
+    machines execute them on dedicated branch/condition logic, so the
+    terminator maps 1:1 onto one ``jump``/``cbranch`` instance pinned at
+    the block end (it still occupies an instruction word)."""
+    if isinstance(terminator, Jump):
+        instance = RTInstance(
+            kind="jump",
+            result_id="br:%s" % block_name,
+            result_storage=PC_STORAGE,
+            targets=(terminator.target,),
+        )
+    elif isinstance(terminator, CBranch):
+        instance = RTInstance(
+            kind="cbranch",
+            result_id="br:%s" % block_name,
+            result_storage=PC_STORAGE,
+            targets=(terminator.true_target, terminator.false_target),
+            condition=terminator.condition,
+        )
+    else:
+        raise CodeGenerationError(
+            "unknown terminator %r in block %r"
+            % (type(terminator).__name__, block_name)
+        )
+    return StatementCode(statement=terminator, cost=1, instances=[instance])
+
+
 def select_block(
     block: BasicBlock, selector: CodeSelector, binding: ResourceBinding
 ) -> List[StatementCode]:
-    """Select code for every statement of a basic block, in order."""
+    """Select code for every statement of a basic block, in order (the
+    terminator, if any, is *not* included -- see :func:`select_block_code`)."""
     return [select_statement(statement, selector, binding) for statement in block.statements]
+
+
+def select_block_code(
+    block: BasicBlock, selector: CodeSelector, binding: ResourceBinding
+) -> BlockCode:
+    """Select a whole basic block including its terminator pseudo-code."""
+    codes = select_block(block, selector, binding)
+    terminator_code = (
+        None
+        if block.terminator is None
+        else select_terminator(block.terminator, block.name)
+    )
+    return BlockCode(name=block.name, codes=codes, terminator_code=terminator_code)

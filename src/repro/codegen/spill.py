@@ -8,6 +8,12 @@ the spill memory whenever a live value would be overwritten.  Tree parsing
 itself cannot account for spills (a limitation the paper notes in section
 3.2), so this pass restores correctness at a small, measurable code-size
 cost.
+
+Every write into a storage resource is covered -- including the write a
+``spill_reload`` itself performs: reloading a value into a register that
+still holds a *different* live, never-spilled temporary first spills that
+occupant, otherwise the occupant's later use would silently read a stale
+value (the historical bug this pass once had).
 """
 
 from __future__ import annotations
@@ -15,6 +21,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.codegen.selection import RTInstance
+
+#: Instance kinds counted as spill transfers.
+SPILL_KINDS = ("spill_store", "spill_reload")
 
 
 def insert_spills(
@@ -25,7 +34,12 @@ def insert_spills(
     ``spill_storage`` names the memory used for spilled values; when the
     processor has no memory (``None``), clobbered values are recomputed from
     scratch by keeping the sequence unchanged (correct for tree-shaped
-    covers because every value has a single use site in program order).
+    covers because every value has a single use site in program order, and
+    the scheduler's storage anti-dependence edges keep reads ahead of
+    conflicting writes).
+
+    Control transfers (``jump``/``cbranch``) pass through untouched; they
+    neither occupy nor clobber data storage.
     """
     if not instances:
         return []
@@ -40,11 +54,38 @@ def insert_spills(
     storage_holds: Dict[str, str] = {}
     spilled: Set[str] = set()
 
+    def preserve_occupant(target_storage: str, incoming_id: str, index: int) -> None:
+        """Spill-store the live temporary held in ``target_storage`` before
+        a write of ``incoming_id`` overwrites it."""
+        current = storage_holds.get(target_storage)
+        if (
+            current is None
+            or current == incoming_id
+            or not current.startswith("tmp:")
+            or current in spilled  # already safe in the spill memory
+            or not _used_after(uses, current, index)
+            or spill_storage is None
+        ):
+            return
+        output.append(
+            RTInstance(
+                kind="spill_store",
+                result_id=current,
+                result_storage=spill_storage,
+                operands=[(current, target_storage)],
+            )
+        )
+        spilled.add(current)
+
     for index, instance in enumerate(instances):
+        if instance.is_control():
+            output.append(instance)
+            continue
         # Reload any operand whose value was spilled away.
         for value_id, storage in instance.operands:
             if value_id.startswith("tmp:") and storage_holds.get(storage) != value_id:
                 if value_id in spilled and spill_storage is not None:
+                    preserve_occupant(storage, value_id, index)
                     output.append(
                         RTInstance(
                             kind="spill_reload",
@@ -55,23 +96,7 @@ def insert_spills(
                     )
                     storage_holds[storage] = value_id
         # Spill a live temporary that this instruction would clobber.
-        current = storage_holds.get(instance.result_storage)
-        if (
-            current is not None
-            and current != instance.result_id
-            and current.startswith("tmp:")
-            and _used_after(uses, current, index)
-            and spill_storage is not None
-        ):
-            output.append(
-                RTInstance(
-                    kind="spill_store",
-                    result_id=current,
-                    result_storage=spill_storage,
-                    operands=[(current, instance.result_storage)],
-                )
-            )
-            spilled.add(current)
+        preserve_occupant(instance.result_storage, instance.result_id, index)
         output.append(instance)
         storage_holds[instance.result_storage] = instance.result_id
     return output
@@ -82,5 +107,11 @@ def _used_after(uses: Dict[str, List[int]], value_id: str, index: int) -> bool:
 
 
 def count_spills(instances: List[RTInstance]) -> int:
-    """Number of spill transfers (stores plus reloads) in a sequence."""
-    return sum(1 for instance in instances if instance.kind != "rt")
+    """Number of spill transfers (stores plus reloads) in a sequence.
+
+    Counts exactly the ``spill_store``/``spill_reload`` kinds -- control
+    transfers and any other non-``"rt"`` kinds are *not* spill traffic
+    (counting every non-``"rt"`` kind used to inflate the spill metric
+    and the spill-pressure diagnostic once branches entered the stream).
+    """
+    return sum(1 for instance in instances if instance.kind in SPILL_KINDS)

@@ -3,21 +3,27 @@
 The code-quality experiment of the paper (figure 2) compiles basic program
 blocks taken from the DSPStone benchmark suite for the TMS320C25.  This
 package provides those ten kernels, written as straight-line basic blocks
-in the reproduction's small C-like source language.
+in the reproduction's small C-like source language, plus their *loop
+forms* -- real ``while`` / ``do``-``while`` loops with runtime array
+indexing, the shape the original DSPStone sources have before unrolling.
 """
 
 from repro.dspstone.kernels import (
     FIGURE2_ORDER,
+    LOOP_KERNELS,
     Kernel,
     all_kernel_names,
     get_kernel,
     kernel_program,
+    loop_kernel_names,
 )
 
 __all__ = [
     "FIGURE2_ORDER",
+    "LOOP_KERNELS",
     "Kernel",
     "all_kernel_names",
     "get_kernel",
     "kernel_program",
+    "loop_kernel_names",
 ]

@@ -1,16 +1,23 @@
-"""The ten DSPStone kernels used in figure 2 of the paper.
+"""The DSPStone kernels: the paper's ten unrolled blocks plus loop forms.
 
-Each kernel is the straight-line basic block of the corresponding DSPStone
-benchmark (loop bodies unrolled to a fixed, documented size), written in
-the reproduction's C-like source language.  The fixed sizes are recorded in
-``Kernel.parameters`` so the benchmark harness and the hand-written
-reference sizes agree on the workload.
+Each figure-2 kernel is the straight-line basic block of the corresponding
+DSPStone benchmark (loop bodies unrolled to a fixed, documented size),
+written in the reproduction's C-like source language.  The fixed sizes are
+recorded in ``Kernel.parameters`` so the benchmark harness and the
+hand-written reference sizes agree on the workload.
+
+The *loop-form* kernels (``fir_loop``, ``dot_product_loop``, ...) express
+the same computations as real ``while`` / ``do``-``while`` loops over an
+induction variable with runtime array indexing -- the shape the original
+DSPStone sources have before unrolling.  Every loop kernel names its
+``unrolled`` counterpart; at the documented trip count the two must
+simulate observably equal, which the test suite checks on every target.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.frontend.lowering import lower_to_program
 from repro.ir.program import Program
@@ -18,12 +25,17 @@ from repro.ir.program import Program
 
 @dataclass(frozen=True)
 class Kernel:
-    """One DSPStone kernel: name, source text and workload parameters."""
+    """One DSPStone kernel: name, source text and workload parameters.
+
+    ``unrolled`` names the straight-line counterpart of a loop-form
+    kernel (``None`` for the unrolled kernels themselves).
+    """
 
     name: str
     source: str
     description: str
     parameters: Dict[str, int] = field(default_factory=dict)
+    unrolled: Optional[str] = None
 
 
 def _real_update() -> Kernel:
@@ -173,6 +185,128 @@ def _convolution(n: int = 8) -> Kernel:
     )
 
 
+# ---------------------------------------------------------------------------
+# Loop-form kernels: the pre-unrolling DSPStone shapes (while / do-while
+# loops, runtime array indexing).  Trip counts match the unrolled
+# counterparts so the two forms simulate observably equal.
+# ---------------------------------------------------------------------------
+
+
+def _fir_loop(taps: int = 8) -> Kernel:
+    source = """
+    int x[%d], h[%d], y, i;
+    y = 0;
+    i = 0;
+    while (i < %d) {
+        y = y + x[i] * h[i];
+        i = i + 1;
+    }
+    """ % (taps, taps, taps)
+    return Kernel(
+        name="fir_loop",
+        source=source,
+        description="FIR filter inner loop (%d taps, runtime indexing)" % taps,
+        parameters={"taps": taps},
+        unrolled="fir",
+    )
+
+
+def _dot_product_loop(n: int = 4) -> Kernel:
+    source = """
+    int a[%d], b[%d], z, i;
+    z = 0;
+    i = 0;
+    while (i < %d) {
+        z = z + a[i] * b[i];
+        i = i + 1;
+    }
+    """ % (n, n, n)
+    return Kernel(
+        name="dot_product_loop",
+        source=source,
+        description="dot product of two N-vectors as a while loop",
+        parameters={"N": n},
+        unrolled="dot_product",
+    )
+
+
+def _convolution_loop(n: int = 8) -> Kernel:
+    source = """
+    int x[%d], h[%d], y, i;
+    y = 0;
+    i = 0;
+    while (i < %d) {
+        y = y + x[i] * h[%d - i];
+        i = i + 1;
+    }
+    """ % (n, n, n, n - 1)
+    return Kernel(
+        name="convolution_loop",
+        source=source,
+        description="convolution sum of length N with reversed coefficients",
+        parameters={"N": n},
+        unrolled="convolution",
+    )
+
+
+def _n_real_updates_loop(n: int = 4) -> Kernel:
+    source = """
+    int a[%d], b[%d], c[%d], d[%d], i;
+    i = 0;
+    while (i < %d) {
+        d[i] = c[i] + a[i] * b[i];
+        i = i + 1;
+    }
+    """ % (n, n, n, n, n)
+    return Kernel(
+        name="n_real_updates_loop",
+        source=source,
+        description="N real updates d[i] = c[i] + a[i] * b[i] as a while loop",
+        parameters={"N": n},
+        unrolled="n_real_updates",
+    )
+
+
+def _n_complex_updates_loop(n: int = 2) -> Kernel:
+    source = """
+    int ar[%d], ai[%d], br[%d], bi[%d], cr[%d], ci[%d], dr[%d], di[%d], i;
+    i = 0;
+    while (i < %d) {
+        dr[i] = cr[i] + ar[i] * br[i] - ai[i] * bi[i];
+        di[i] = ci[i] + ar[i] * bi[i] + ai[i] * br[i];
+        i = i + 1;
+    }
+    """ % (n, n, n, n, n, n, n, n, n)
+    return Kernel(
+        name="n_complex_updates_loop",
+        source=source,
+        description="N complex updates d[i] = c[i] + a[i] * b[i] as a while loop",
+        parameters={"N": n},
+        unrolled="n_complex_updates",
+    )
+
+
+def _mac_dowhile(n: int = 4) -> Kernel:
+    # The do-while form: DSPStone's inner MAC loops run at least once,
+    # which is exactly the post-test shape.
+    source = """
+    int a[%d], b[%d], z, i;
+    z = 0;
+    i = 0;
+    do {
+        z = z + a[i] * b[i];
+        i = i + 1;
+    } while (i < %d);
+    """ % (n, n, n)
+    return Kernel(
+        name="mac_dowhile",
+        source=source,
+        description="multiply-accumulate post-test (do-while) loop",
+        parameters={"N": n},
+        unrolled="dot_product",
+    )
+
+
 _KERNELS: Dict[str, Kernel] = {
     kernel.name: kernel
     for kernel in (
@@ -186,6 +320,12 @@ _KERNELS: Dict[str, Kernel] = {
         _biquad_n(),
         _dot_product(),
         _convolution(),
+        _fir_loop(),
+        _dot_product_loop(),
+        _convolution_loop(),
+        _n_real_updates_loop(),
+        _n_complex_updates_loop(),
+        _mac_dowhile(),
     )
 }
 
@@ -203,10 +343,25 @@ FIGURE2_ORDER: List[str] = [
     "convolution",
 ]
 
+#: The loop-form kernels (each names its unrolled counterpart).
+LOOP_KERNELS: List[str] = [
+    "fir_loop",
+    "dot_product_loop",
+    "convolution_loop",
+    "n_real_updates_loop",
+    "n_complex_updates_loop",
+    "mac_dowhile",
+]
+
 
 def all_kernel_names() -> List[str]:
-    """Kernel names in figure-2 order."""
+    """Unrolled (figure-2) kernel names, in figure-2 order."""
     return list(FIGURE2_ORDER)
+
+
+def loop_kernel_names() -> List[str]:
+    """Loop-form kernel names."""
+    return list(LOOP_KERNELS)
 
 
 def get_kernel(name: str) -> Kernel:
@@ -214,7 +369,8 @@ def get_kernel(name: str) -> Kernel:
         return _KERNELS[name]
     except KeyError:
         raise KeyError(
-            "unknown kernel %r; available: %s" % (name, ", ".join(FIGURE2_ORDER))
+            "unknown kernel %r; available: %s"
+            % (name, ", ".join(FIGURE2_ORDER + LOOP_KERNELS))
         )
 
 

@@ -2,15 +2,18 @@
 
 RECORD compiles high-level language programs; the experiments of the paper
 use basic blocks from the DSPStone benchmark suite.  This package provides
-a small C-like expression language sufficient for those kernels: integer
-scalar and array declarations followed by straight-line assignment
-statements.  The frontend lowers source text into the IR of
-:mod:`repro.ir` (one basic block of expression-tree statements).
+a small C-like language sufficient for those kernels and their loop
+forms: integer scalar and array declarations followed by assignment
+statements, ``if``/``else`` conditionals and ``while`` / ``do``-``while``
+loops.  The frontend lowers source text into the IR of :mod:`repro.ir` --
+one basic block for straight-line programs, a multi-block CFG with
+``Jump``/``CBranch`` terminators once control flow appears.
 """
 
 from repro.frontend.ast import (
     ArrayDecl,
     Assignment,
+    IfStatement,
     SourceBinary,
     SourceConst,
     SourceExpr,
@@ -19,6 +22,7 @@ from repro.frontend.ast import (
     SourceUnary,
     SourceVar,
     VarDecl,
+    WhileStatement,
 )
 from repro.frontend.lexer import SourceSyntaxError, tokenize_source
 from repro.frontend.parser import parse_source
@@ -27,6 +31,8 @@ from repro.frontend.lowering import LoweringError, lower_source, lower_to_progra
 __all__ = [
     "ArrayDecl",
     "Assignment",
+    "IfStatement",
+    "WhileStatement",
     "LoweringError",
     "SourceBinary",
     "SourceConst",

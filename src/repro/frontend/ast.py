@@ -68,13 +68,52 @@ class Assignment:
 
 
 @dataclass
+class IfStatement:
+    """``if (condition) { ... } [else { ... }]``."""
+
+    condition: SourceExpr
+    then_body: List["SourceStatement"] = field(default_factory=list)
+    else_body: List["SourceStatement"] = field(default_factory=list)
+
+
+@dataclass
+class WhileStatement:
+    """``while (condition) { ... }`` or ``do { ... } while (condition);``.
+
+    ``test_first`` is ``True`` for the ``while`` form (condition checked
+    before the first iteration) and ``False`` for ``do``/``while``.
+    """
+
+    condition: SourceExpr
+    body: List["SourceStatement"] = field(default_factory=list)
+    test_first: bool = True
+
+
+#: Any statement the parser can produce.
+SourceStatement = (Assignment, IfStatement, WhileStatement)
+
+
+@dataclass
 class SourceProgram:
-    """One translation unit: declarations followed by assignments."""
+    """One translation unit: declarations followed by statements.
+
+    ``statements`` holds the top-level statement list (assignments and
+    control-flow statements); ``assignments`` keeps the historical view of
+    the top-level assignment statements only (the full list for the
+    straight-line programs of the paper's experiments).
+    """
 
     name: str
     scalars: List[VarDecl] = field(default_factory=list)
     arrays: List[ArrayDecl] = field(default_factory=list)
-    assignments: List[Assignment] = field(default_factory=list)
+    statements: List[object] = field(default_factory=list)
+
+    @property
+    def assignments(self) -> List[Assignment]:
+        return [s for s in self.statements if isinstance(s, Assignment)]
+
+    def is_straight_line(self) -> bool:
+        return all(isinstance(s, Assignment) for s in self.statements)
 
     def declared_names(self) -> Tuple[str, ...]:
         names = [decl.name for decl in self.scalars]

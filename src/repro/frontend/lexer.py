@@ -18,12 +18,12 @@ class SourceSyntaxError(ReproError):
         self.line = line
 
 
-_KEYWORDS = {"int"}
+_KEYWORDS = {"int", "if", "else", "while", "do"}
 
-# Longest first so that "<<" wins over "<".
-_SYMBOLS = ["<<", ">>", "==", "!=", "<=", ">=",
-            "+", "-", "*", "/", "%", "&", "|", "^", "~",
-            "=", ";", ",", "(", ")", "[", "]", "<", ">"]
+# Longest first so that "<<" wins over "<" and "&&" over "&".
+_SYMBOLS = ["<<", ">>", "==", "!=", "<=", ">=", "&&", "||",
+            "+", "-", "*", "/", "%", "&", "|", "^", "~", "!",
+            "=", ";", ",", "(", ")", "[", "]", "{", "}", "<", ">"]
 
 
 @dataclass(frozen=True)

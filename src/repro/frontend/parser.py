@@ -7,6 +7,7 @@ from typing import List, Optional
 from repro.frontend.ast import (
     ArrayDecl,
     Assignment,
+    IfStatement,
     SourceBinary,
     SourceConst,
     SourceExpr,
@@ -15,6 +16,7 @@ from repro.frontend.ast import (
     SourceUnary,
     SourceVar,
     VarDecl,
+    WhileStatement,
 )
 from repro.frontend.lexer import SourceSyntaxError, SourceToken, tokenize_source
 
@@ -72,8 +74,129 @@ class _SourceParser:
             if token.kind == "keyword" and token.text == "int":
                 self._parse_declaration(program)
             else:
-                program.assignments.append(self._parse_assignment())
+                program.statements.append(self._parse_statement())
         return program
+
+    def _parse_statement(self):
+        token = self._peek()
+        if token.kind == "keyword":
+            if token.text == "if":
+                return self._parse_if()
+            if token.text == "while":
+                return self._parse_while()
+            if token.text == "do":
+                return self._parse_do_while()
+            raise self._error("unexpected keyword %r" % token.text)
+        return self._parse_assignment()
+
+    def _parse_body(self) -> list:
+        """``{ statement* }`` or one bare statement."""
+        token = self._peek()
+        if token.kind == "symbol" and token.text == "{":
+            self._advance()
+            body = []
+            while not (self._peek().kind == "symbol" and self._peek().text == "}"):
+                if self._peek().kind == "eof":
+                    raise self._error("unterminated block, expected '}'")
+                body.append(self._parse_statement())
+            self._advance()  # '}'
+            return body
+        return [self._parse_statement()]
+
+    def _parse_if(self) -> IfStatement:
+        self._advance()  # 'if'
+        self._expect_symbol("(")
+        condition = self._parse_condition()
+        self._expect_symbol(")")
+        then_body = self._parse_body()
+        else_body: list = []
+        token = self._peek()
+        if token.kind == "keyword" and token.text == "else":
+            self._advance()
+            else_body = self._parse_body()
+        return IfStatement(condition=condition, then_body=then_body, else_body=else_body)
+
+    def _parse_while(self) -> WhileStatement:
+        self._advance()  # 'while'
+        self._expect_symbol("(")
+        condition = self._parse_condition()
+        self._expect_symbol(")")
+        body = self._parse_body()
+        return WhileStatement(condition=condition, body=body, test_first=True)
+
+    def _parse_do_while(self) -> WhileStatement:
+        self._advance()  # 'do'
+        body = self._parse_body()
+        token = self._peek()
+        if not (token.kind == "keyword" and token.text == "while"):
+            raise self._error("expected 'while' after do-block, found %r" % token.text)
+        self._advance()
+        self._expect_symbol("(")
+        condition = self._parse_condition()
+        self._expect_symbol(")")
+        self._expect_symbol(";")
+        return WhileStatement(condition=condition, body=body, test_first=False)
+
+    # -- conditions ---------------------------------------------------------------
+    #
+    # Conditions live above the arithmetic expression grammar:
+    #     condition := and-term ('||' and-term)*
+    #     and-term  := not-term ('&&' not-term)*
+    #     not-term  := '!' not-term | relation
+    #     relation  := expression (relop expression)?
+    # A bare arithmetic expression counts as "nonzero".
+
+    _RELOPS = ("==", "!=", "<", ">", "<=", ">=")
+
+    def _parse_condition(self) -> SourceExpr:
+        left = self._parse_condition_and()
+        while self._peek().kind == "symbol" and self._peek().text == "||":
+            self._advance()
+            right = self._parse_condition_and()
+            left = SourceBinary(operator="||", left=left, right=right)
+        return left
+
+    def _parse_condition_and(self) -> SourceExpr:
+        left = self._parse_condition_not()
+        while self._peek().kind == "symbol" and self._peek().text == "&&":
+            self._advance()
+            right = self._parse_condition_not()
+            left = SourceBinary(operator="&&", left=left, right=right)
+        return left
+
+    def _parse_condition_not(self) -> SourceExpr:
+        token = self._peek()
+        if token.kind == "symbol" and token.text == "!":
+            self._advance()
+            return SourceUnary(operator="!", operand=self._parse_condition_not())
+        if token.kind == "symbol" and token.text == "(":
+            # "(" is ambiguous: "(a < b) && c" parenthesizes a condition,
+            # "(a + b) < c" an arithmetic subexpression.  Try the condition
+            # reading; backtrack when what follows the ")" shows the
+            # parentheses belonged to an expression.
+            position = self._position
+            self._advance()
+            try:
+                condition = self._parse_condition()
+                self._expect_symbol(")")
+            except SourceSyntaxError:
+                self._position = position
+                return self._parse_relation()
+            following = self._peek()
+            if following.kind == "symbol" and following.text not in (")", "&&", "||"):
+                self._position = position
+                return self._parse_relation()
+            return condition
+        return self._parse_relation()
+
+    def _parse_relation(self) -> SourceExpr:
+        left = self._parse_expression()
+        token = self._peek()
+        if token.kind == "symbol" and token.text in self._RELOPS:
+            operator = self._advance().text
+            right = self._parse_expression()
+            return SourceBinary(operator=operator, left=left, right=right)
+        return left
 
     def _parse_declaration(self, program: SourceProgram) -> None:
         self._advance()  # 'int'

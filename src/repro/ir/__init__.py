@@ -16,6 +16,7 @@ folded constant provably agrees with simulated execution.
 
 from repro.ir.expr import (
     WORD_BITS,
+    ArrayRef,
     Const,
     IRExpr,
     IRNode,
@@ -23,27 +24,44 @@ from repro.ir.expr import (
     PortInput,
     VarRef,
     apply_operator,
+    array_element_name,
     evaluate_expr,
     expr_size,
     expr_variables,
     wrap_word,
 )
-from repro.ir.program import BasicBlock, Program, Statement
+from repro.ir.program import (
+    BasicBlock,
+    CBranch,
+    Jump,
+    MultiBlockError,
+    Program,
+    Statement,
+    StepLimitError,
+    Terminator,
+)
 from repro.ir.binding import ResourceBinding, bind_program
 
 __all__ = [
+    "ArrayRef",
     "BasicBlock",
+    "CBranch",
     "Const",
     "IRExpr",
     "IRNode",
+    "Jump",
+    "MultiBlockError",
     "Op",
     "PortInput",
     "Program",
     "ResourceBinding",
     "Statement",
+    "StepLimitError",
+    "Terminator",
     "VarRef",
     "WORD_BITS",
     "apply_operator",
+    "array_element_name",
     "bind_program",
     "evaluate_expr",
     "expr_size",

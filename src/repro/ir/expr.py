@@ -50,6 +50,31 @@ class PortInput(IRNode):
 
 
 @dataclass(frozen=True)
+class ArrayRef(IRNode):
+    """An array element access with a *runtime* index expression.
+
+    Constant-index accesses are resolved at lowering time into plain
+    :class:`VarRef` leaves (``a[3]``); an :class:`ArrayRef` is what loop
+    bodies produce for ``a[i]``.  At selection level the access is a
+    plain load/store on the array's home storage -- the address
+    computation is carried out by the processor's address-generation
+    logic in parallel with the data path (the standard DSP arrangement
+    the paper's machines share), so the index expression never enters
+    tree covering; the RT simulator and the reference interpreter
+    evaluate it against the current environment.
+    """
+
+    name: str
+    index: IRNode
+
+    def children(self) -> Tuple["IRNode", ...]:
+        return (self.index,)
+
+    def __str__(self) -> str:
+        return "%s[%s]" % (self.name, self.index)
+
+
+@dataclass(frozen=True)
 class Op(IRNode):
     """An operator applied to one or two sub-expressions.
 
@@ -127,6 +152,16 @@ def apply_operator(op: str, operands: List[int]) -> int:
     raise ValueError("unknown operator %r with %d operands" % (op, len(operands)))
 
 
+def array_element_name(name: str, index_value: int) -> str:
+    """The environment key of one array element (``a[3]``).
+
+    Runtime indices are wrapped to the machine word first, so the
+    reference interpreter and the RT simulator agree on the accessed
+    element for out-of-range index arithmetic.
+    """
+    return "%s[%d]" % (name, wrap_word(index_value))
+
+
 def evaluate_expr(expr: IRNode, environment: Dict[str, int]) -> int:
     """Evaluate an IR expression over a variable/port environment."""
     if isinstance(expr, Const):
@@ -135,6 +170,9 @@ def evaluate_expr(expr: IRNode, environment: Dict[str, int]) -> int:
         return wrap_word(environment.get(expr.name, 0))
     if isinstance(expr, PortInput):
         return wrap_word(environment.get("@%s" % expr.port, 0))
+    if isinstance(expr, ArrayRef):
+        element = array_element_name(expr.name, evaluate_expr(expr.index, environment))
+        return wrap_word(environment.get(element, 0))
     if isinstance(expr, Op):
         operands = [evaluate_expr(child, environment) for child in expr.operands]
         return apply_operator(expr.op, operands)
@@ -154,6 +192,11 @@ def expr_variables(expr: IRNode) -> Set[str]:
         if isinstance(node, VarRef):
             variables.add(node.name)
             continue
+        if isinstance(node, ArrayRef):
+            # The concrete element is unknown until runtime; record the
+            # array's base name (binding validation, liveness must treat
+            # the whole array as read) plus the index expression's reads.
+            variables.add(node.name)
         stack.extend(node.children())
     return variables
 

@@ -1,81 +1,292 @@
-"""Programs, basic blocks and statements."""
+"""Programs, basic blocks, terminators and statements.
+
+A :class:`Program` is a control-flow graph of :class:`BasicBlock` objects.
+Each block holds straight-line :class:`Statement` assignments and ends in
+an optional :class:`Terminator` -- ``None`` means the program halts after
+the block, :class:`Jump` transfers unconditionally, :class:`CBranch`
+branches on an IR condition expression.  Straight-line programs (the
+paper's unrolled DSPStone blocks) are the one-block, no-terminator special
+case, and every historical API on that shape keeps working unchanged.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Set
+from typing import Dict, List, Optional, Set
 
-from repro.ir.expr import IRNode, evaluate_expr, expr_size, expr_variables
+from repro.diagnostics import ReproError
+from repro.ir.expr import (
+    IRNode,
+    array_element_name,
+    evaluate_expr,
+    expr_size,
+    expr_variables,
+)
+
+
+class MultiBlockError(ReproError, ValueError):
+    """A single-block API was applied to a multi-block (CFG) program."""
+
+    phase = "ir"
+
+
+class StepLimitError(ReproError):
+    """CFG execution exceeded its step budget (runaway / diverging loop)."""
+
+    phase = "ir"
+
+
+#: Default statement budget of :meth:`Program.execute` -- generous for the
+#: fixed-trip-count loop kernels, small enough to fail fast on a loop whose
+#: exit condition can never become true.
+DEFAULT_STEP_LIMIT = 100_000
+
+
+# ---------------------------------------------------------------------------
+# Terminators
+# ---------------------------------------------------------------------------
+
+
+class Terminator:
+    """Base class of basic-block terminators."""
+
+    __slots__ = ()
+
+    def targets(self) -> tuple:
+        return ()
+
+    def variables(self) -> Set[str]:
+        return set()
+
+
+@dataclass(frozen=True)
+class Jump(Terminator):
+    """Unconditional transfer to another block."""
+
+    target: str
+
+    def targets(self) -> tuple:
+        return (self.target,)
+
+    def __str__(self) -> str:
+        return "jump %s" % self.target
+
+
+@dataclass(frozen=True)
+class CBranch(Terminator):
+    """Conditional branch: nonzero condition goes to ``true_target``.
+
+    The condition is an ordinary IR expression (comparisons lower to the
+    ``eq``/``ne``/``lt``/... operators); it is evaluated by the
+    processor's condition/branch logic, not covered by the data-path tree
+    grammar.
+    """
+
+    condition: IRNode
+    true_target: str
+    false_target: str
+
+    def targets(self) -> tuple:
+        return (self.true_target, self.false_target)
+
+    def variables(self) -> Set[str]:
+        return expr_variables(self.condition)
+
+    def __str__(self) -> str:
+        return "if %s goto %s else %s" % (
+            self.condition,
+            self.true_target,
+            self.false_target,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Statements and blocks
+# ---------------------------------------------------------------------------
 
 
 @dataclass
 class Statement:
     """One assignment ``destination := expression``.
 
-    ``destination`` names a program variable (scalar or array element) or a
-    primary output port (prefixed with ``@``).
+    ``destination`` names a program variable (scalar or constant-index
+    array element) or a primary output port (prefixed with ``@``).  For a
+    *runtime-indexed* array store (``a[i] = ...``) the destination is the
+    array's base name and ``destination_index`` carries the index
+    expression (``None`` for every other statement).
     """
 
     destination: str
     expression: IRNode
+    destination_index: Optional[IRNode] = None
 
     def variables(self) -> Set[str]:
         names = expr_variables(self.expression)
         if not self.destination.startswith("@"):
             names.add(self.destination)
+        if self.destination_index is not None:
+            names.update(expr_variables(self.destination_index))
         return names
 
+    def destination_text(self) -> str:
+        if self.destination_index is not None:
+            return "%s[%s]" % (self.destination, self.destination_index)
+        return self.destination
+
+    def execute(self, state: Dict[str, int]) -> None:
+        """Reference execution of this one statement (in place)."""
+        value = evaluate_expr(self.expression, state)
+        if self.destination_index is not None:
+            index = evaluate_expr(self.destination_index, state)
+            state[array_element_name(self.destination, index)] = value
+        else:
+            state[self.destination] = value
+
     def __str__(self) -> str:
-        return "%s = %s" % (self.destination, self.expression)
+        return "%s = %s" % (self.destination_text(), self.expression)
 
 
 @dataclass
 class BasicBlock:
-    """A straight-line sequence of statements."""
+    """A straight-line sequence of statements plus an optional terminator."""
 
     name: str
     statements: List[Statement] = field(default_factory=list)
+    terminator: Optional[Terminator] = None
 
     def variables(self) -> Set[str]:
         names: Set[str] = set()
         for statement in self.statements:
             names.update(statement.variables())
+        if self.terminator is not None:
+            names.update(self.terminator.variables())
         return names
 
     def execute(self, environment: Dict[str, int]) -> Dict[str, int]:
-        """Reference execution of the block: evaluate every statement in
-        order, updating and returning the environment.  Used as the golden
-        model against which generated code is checked."""
+        """Reference execution of the block body: evaluate every statement
+        in order, updating and returning the environment.  Used as the
+        golden model against which generated code is checked.  The
+        terminator (if any) is *not* interpreted here -- use
+        :meth:`Program.execute` for whole-CFG reference runs."""
         state = dict(environment)
         for statement in self.statements:
-            value = evaluate_expr(statement.expression, state)
-            key = statement.destination
-            state[key] = value
+            statement.execute(state)
         return state
 
     def __len__(self) -> int:
         return len(self.statements)
 
 
+# ---------------------------------------------------------------------------
+# Programs
+# ---------------------------------------------------------------------------
+
+
 @dataclass
 class Program:
-    """A complete (straight-line) program: declarations plus basic blocks.
+    """A complete program: declarations plus a CFG of basic blocks.
 
     ``scalars`` and ``arrays`` record the declared variables; array entries
-    map the array name to its element count.
+    map the array name to its element count.  ``entry`` names the block
+    execution starts in (empty string = the first block, which is what the
+    frontend produces).
     """
 
     name: str
     blocks: List[BasicBlock] = field(default_factory=list)
     scalars: List[str] = field(default_factory=list)
     arrays: Dict[str, int] = field(default_factory=dict)
+    entry: str = ""
+
+    # -- CFG structure -----------------------------------------------------------
+
+    def entry_block_name(self) -> str:
+        if self.entry:
+            return self.entry
+        if not self.blocks:
+            raise MultiBlockError("program %r has no blocks" % self.name)
+        return self.blocks[0].name
+
+    def block(self, name: str) -> BasicBlock:
+        for candidate in self.blocks:
+            if candidate.name == name:
+                return candidate
+        raise MultiBlockError(
+            "program %r has no block named %r" % (self.name, name)
+        )
+
+    def successors(self, name: str) -> tuple:
+        """The names of the blocks control can transfer to from ``name``."""
+        terminator = self.block(name).terminator
+        return terminator.targets() if terminator is not None else ()
+
+    def is_straight_line(self) -> bool:
+        """True for the classic one-block, fall-off-the-end shape."""
+        return len(self.blocks) == 1 and self.blocks[0].terminator is None
 
     def single_block(self) -> BasicBlock:
         if len(self.blocks) != 1:
-            raise ValueError(
-                "program %r has %d blocks, expected exactly one" % (self.name, len(self.blocks))
+            raise MultiBlockError(
+                "program %r has %d blocks, expected exactly one"
+                % (self.name, len(self.blocks))
             )
         return self.blocks[0]
+
+    # -- reference execution -----------------------------------------------------
+
+    def execute(
+        self,
+        environment: Dict[str, int],
+        max_steps: int = DEFAULT_STEP_LIMIT,
+    ) -> Dict[str, int]:
+        """Reference (IR-level) execution of the whole CFG.
+
+        Starts at the entry block, interprets statements and terminators,
+        and returns the final environment when a block without terminator
+        completes.  ``max_steps`` bounds the total number of executed
+        statements *plus* block transitions; exceeding it raises
+        :class:`StepLimitError` (a diverging loop must fail loudly, not
+        hang the differential suites)."""
+        blocks = {block.name: block for block in self.blocks}
+        state = dict(environment)
+        current: Optional[str] = self.entry_block_name()
+        steps = 0
+        while current is not None:
+            try:
+                block = blocks[current]
+            except KeyError:
+                raise MultiBlockError(
+                    "program %r branches to unknown block %r" % (self.name, current)
+                ) from None
+            for statement in block.statements:
+                statement.execute(state)
+                steps += 1
+                if steps > max_steps:
+                    raise StepLimitError(
+                        "program %r exceeded %d execution steps in block %r"
+                        % (self.name, max_steps, current)
+                    )
+            terminator = block.terminator
+            if terminator is None:
+                current = None
+            elif isinstance(terminator, Jump):
+                current = terminator.target
+            elif isinstance(terminator, CBranch):
+                taken = evaluate_expr(terminator.condition, state) != 0
+                current = terminator.true_target if taken else terminator.false_target
+            else:
+                raise MultiBlockError(
+                    "unknown terminator %r in block %r"
+                    % (type(terminator).__name__, current)
+                )
+            steps += 1
+            if steps > max_steps:
+                raise StepLimitError(
+                    "program %r exceeded %d execution steps" % (self.name, max_steps)
+                )
+        return state
+
+    # -- aggregate queries -------------------------------------------------------
 
     def all_variables(self) -> Set[str]:
         names: Set[str] = set()

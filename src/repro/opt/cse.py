@@ -31,7 +31,14 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.ir.expr import VarRef, expr_variables
 from repro.ir.program import BasicBlock, Program, Statement
-from repro.opt.dag import DAGNode, ExprDAG, ProgramDAG, _make_expr
+from repro.opt.dag import (
+    DAGNode,
+    ExprDAG,
+    ProgramDAG,
+    _make_expr,
+    copy_expr,
+    copy_terminator,
+)
 
 #: Prefix of compiler-generated CSE temporaries.
 TEMP_PREFIX = "__cse"
@@ -145,16 +152,30 @@ def eliminate_common_subexpressions(
                 dag, root, candidates, materialized, hoisted, alloc_temp, stats
             )
             statements.extend(hoisted)
+            destination_index = statement.destination_index
+            if destination_index is not None:
+                destination_index = copy_expr(destination_index)
             statements.append(
-                Statement(destination=statement.destination, expression=expression)
+                Statement(
+                    destination=statement.destination,
+                    expression=expression,
+                    destination_index=destination_index,
+                )
             )
         temps.extend(sorted(materialized.values()))
-        new_blocks.append(BasicBlock(name=block.name, statements=statements))
+        new_blocks.append(
+            BasicBlock(
+                name=block.name,
+                statements=statements,
+                terminator=copy_terminator(block.terminator),
+            )
+        )
     return Program(
         name=program.name,
         blocks=new_blocks,
         scalars=list(program.scalars) + sorted(set(temps)),
         arrays=dict(program.arrays),
+        entry=program.entry,
     )
 
 
@@ -174,6 +195,12 @@ def eliminate_dead_temporaries(
     destination counts.  Statements (and their expression trees) are
     reused from the input program object -- callers needing full copy
     hygiene copy afterwards (see :class:`~repro.opt.pipeline.OptPipeline`).
+
+    On straight-line programs this is the classic backward liveness
+    sweep.  On CFG programs it stays conservative across block
+    boundaries: a temporary read *anywhere* (any block's statements,
+    store indices or branch conditions) is kept everywhere, so only
+    temporaries that are never read at all are removed.
     """
     stats = counters if counters is not None else {}
     stats.setdefault("dead_removed", 0)
@@ -183,24 +210,65 @@ def eliminate_dead_temporaries(
             return name in temps
         return is_temp(name, temp_prefix)
 
+    def statement_reads(statement: Statement) -> Set[str]:
+        reads = expr_variables(statement.expression)
+        if statement.destination_index is not None:
+            reads.update(expr_variables(statement.destination_index))
+        return reads
+
     new_blocks: List[BasicBlock] = []
     live_temps: Set[str] = set()
-    for block in program.blocks:
+    if program.is_straight_line():
+        block = program.blocks[0]
         kept: List[Statement] = []
         needed: Set[str] = set()
         for statement in reversed(block.statements):
             destination = statement.destination
-            if removable(destination) and destination not in needed:
+            if (
+                statement.destination_index is None
+                and removable(destination)
+                and destination not in needed
+            ):
                 stats["dead_removed"] += 1
                 continue
             kept.append(statement)
-            needed.discard(destination)
-            needed.update(expr_variables(statement.expression))
+            if statement.destination_index is None:
+                needed.discard(destination)
+            kept_reads = statement_reads(statement)
+            needed.update(kept_reads)
         kept.reverse()
         for statement in kept:
             if removable(statement.destination):
                 live_temps.add(statement.destination)
         new_blocks.append(BasicBlock(name=block.name, statements=kept))
+    else:
+        # CFG-conservative: collect every name read anywhere, then drop
+        # only removable destinations that are never read at all.
+        read_anywhere: Set[str] = set()
+        for block in program.blocks:
+            for statement in block.statements:
+                read_anywhere.update(statement_reads(statement))
+            if block.terminator is not None:
+                read_anywhere.update(block.terminator.variables())
+        for block in program.blocks:
+            kept = []
+            for statement in block.statements:
+                destination = statement.destination
+                if (
+                    statement.destination_index is None
+                    and removable(destination)
+                    and destination not in read_anywhere
+                ):
+                    stats["dead_removed"] += 1
+                    continue
+                kept.append(statement)
+                if removable(destination):
+                    live_temps.add(destination)
+            new_blocks.append(
+                BasicBlock(
+                    name=block.name, statements=kept, terminator=block.terminator
+                )
+            )
     scalars = [
         name
         for name in program.scalars
@@ -211,4 +279,5 @@ def eliminate_dead_temporaries(
         blocks=new_blocks,
         scalars=scalars,
         arrays=dict(program.arrays),
+        entry=program.entry,
     )

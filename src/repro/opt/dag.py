@@ -30,9 +30,9 @@ is enough, the child comes along for free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from repro.ir.expr import Const, IRNode, Op, PortInput, VarRef
+from repro.ir.expr import ArrayRef, Const, IRNode, Op, PortInput, VarRef
 from repro.ir.program import BasicBlock, Statement
 
 
@@ -40,9 +40,10 @@ from repro.ir.program import BasicBlock, Statement
 class DAGNode:
     """One interned expression value.
 
-    ``kind`` is ``"const"`` / ``"var"`` / ``"port"`` / ``"op"``; ``label``
-    carries the variable, port or operator name; ``value`` the constant
-    value; ``children`` the ids of the operand nodes.
+    ``kind`` is ``"const"`` / ``"var"`` / ``"port"`` / ``"aref"`` /
+    ``"op"``; ``label`` carries the variable, port, array or operator
+    name; ``value`` the constant value; ``children`` the ids of the
+    operand nodes (for ``"aref"``: the index expression).
     """
 
     id: int
@@ -129,6 +130,8 @@ def _make_expr(node: DAGNode, children: List[IRNode]) -> IRNode:
         return VarRef(node.label)
     if node.kind == "port":
         return PortInput(node.label)
+    if node.kind == "aref":
+        return ArrayRef(node.label, children[0])
     return Op(node.label, tuple(children))
 
 
@@ -146,16 +149,49 @@ class ProgramDAG:
         self.dag = ExprDAG()
         self.roots: List[int] = []
         self._versions: Dict[str, int] = {}
+        # Array write tracking for runtime-indexed accesses: a *dynamic*
+        # store (``a[i] = ...``) may write any element, so element leaves
+        # of ``a`` are additionally keyed on the array's dynamic-store
+        # epoch; an ``a[j]`` *read* may read any element, so ``aref``
+        # nodes are keyed on the epoch of *any* store into ``a``
+        # (constant-index or dynamic).  Equal node ids keep meaning equal
+        # runtime values in the presence of array writes.
+        self._dynamic_epochs: Dict[str, int] = {}
+        self._store_epochs: Dict[str, int] = {}
 
     def version_of(self, name: str) -> int:
         return self._versions.get(name, 0)
 
+    @staticmethod
+    def _array_of(name: str) -> Optional[str]:
+        """The base array of an element name (``"a[3]" -> "a"``)."""
+        bracket = name.find("[")
+        return name[:bracket] if bracket > 0 else None
+
+    def dynamic_epoch_of(self, array: str) -> int:
+        return self._dynamic_epochs.get(array, 0)
+
+    def store_epoch_of(self, array: str) -> int:
+        return self._store_epochs.get(array, 0)
+
     def add_statement(self, statement: Statement) -> int:
+        if statement.destination_index is not None:
+            # The index expression is read by the store; intern it so its
+            # subexpressions participate in value numbering like any read.
+            self.intern_expr(statement.destination_index)
         root = self.intern_expr(statement.expression)
         self.dag.uses[root] += 1  # statement-root occurrence
         self.roots.append(root)
         destination = statement.destination
         self._versions[destination] = self._versions.get(destination, 0) + 1
+        if statement.destination_index is not None:
+            # Dynamic store: may hit any element of the array.
+            self._dynamic_epochs[destination] = self.dynamic_epoch_of(destination) + 1
+            self._store_epochs[destination] = self.store_epoch_of(destination) + 1
+        else:
+            array = self._array_of(destination)
+            if array is not None:
+                self._store_epochs[array] = self.store_epoch_of(array) + 1
         return root
 
     def intern_expr(self, expr: IRNode) -> int:
@@ -171,11 +207,25 @@ class ProgramDAG:
                 continue
             if isinstance(node, VarRef):
                 key = ("var", node.name, self.version_of(node.name))
+                array = self._array_of(node.name)
+                if array is not None:
+                    key = key + (self.dynamic_epoch_of(array),)
                 results.append(dag.intern(key, "var", node.name, 0, ()))
                 continue
             if isinstance(node, PortInput):
                 key = ("port", node.port, self.version_of("@%s" % node.port))
                 results.append(dag.intern(key, "port", node.port, 0, ()))
+                continue
+            if isinstance(node, ArrayRef):
+                if expanded:
+                    index_id = results.pop()
+                    key = ("aref", node.name, self.store_epoch_of(node.name), index_id)
+                    results.append(
+                        dag.intern(key, "aref", node.name, 0, (index_id,))
+                    )
+                    continue
+                stack.append((node, True))
+                stack.append((node.index, False))
                 continue
             if not isinstance(node, Op):
                 raise TypeError("unexpected IR node %r" % type(node).__name__)
@@ -198,3 +248,27 @@ def build_block_dag(block: BasicBlock) -> ProgramDAG:
     for statement in block.statements:
         builder.add_statement(statement)
     return builder
+
+
+def copy_expr(expr: IRNode) -> IRNode:
+    """A fresh, alias-free copy of one expression tree (explicit-stack,
+    via the interning machinery's rebuilders)."""
+    builder = ProgramDAG()
+    return builder.dag.to_expr(builder.intern_expr(expr))
+
+
+def copy_terminator(terminator):
+    """A fresh copy of a block terminator (``None`` passes through)."""
+    from repro.ir.program import CBranch, Jump
+
+    if terminator is None:
+        return None
+    if isinstance(terminator, Jump):
+        return Jump(target=terminator.target)
+    if isinstance(terminator, CBranch):
+        return CBranch(
+            condition=copy_expr(terminator.condition),
+            true_target=terminator.true_target,
+            false_target=terminator.false_target,
+        )
+    raise TypeError("unexpected terminator %r" % type(terminator).__name__)

@@ -33,7 +33,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.ir import WORD_BITS, apply_operator, wrap_word
-from repro.ir.expr import Const, IRNode, Op, PortInput, VarRef
+from repro.ir.expr import ArrayRef, Const, IRNode, Op, PortInput, VarRef
 from repro.ir.program import Statement
 
 #: Wrapped powers of two that become shift amounts (2**1 .. 2**(WORD_BITS-1)).
@@ -75,6 +75,10 @@ def structurally_equal(left: IRNode, right: IRNode) -> bool:
         elif isinstance(a, PortInput):
             if a.port != b.port:
                 return False
+        elif isinstance(a, ArrayRef):
+            if a.name != b.name:
+                return False
+            stack.append((a.index, b.index))
         else:  # Op
             if a.op != b.op or len(a.operands) != len(b.operands):
                 return False
@@ -220,6 +224,16 @@ def fold_expr(
         if isinstance(node, PortInput):
             results.append(PortInput(node.port))
             continue
+        if isinstance(node, ArrayRef):
+            if not expanded:
+                stack.append((node, True))
+                stack.append((node.index, False))
+                continue
+            index = results.pop()
+            # The access itself never folds (the element is unknown until
+            # runtime); only its index expression does.
+            results.append(ArrayRef(node.name, index))
+            continue
         if not isinstance(node, Op):
             raise TypeError("unexpected IR node %r" % type(node).__name__)
         if not expanded:
@@ -246,12 +260,19 @@ def fold_statement(
     supported_ops: Optional[Set[str]] = None,
     rewrites: Optional[Dict[str, int]] = None,
 ) -> Statement:
-    """A fresh statement with the right-hand side folded."""
+    """A fresh statement with the right-hand side (and the destination
+    index of a runtime-indexed array store, if any) folded."""
+    destination_index = statement.destination_index
+    if destination_index is not None:
+        destination_index = fold_expr(
+            destination_index, supported_ops=supported_ops, rewrites=rewrites
+        )
     return Statement(
         destination=statement.destination,
         expression=fold_expr(
             statement.expression, supported_ops=supported_ops, rewrites=rewrites
         ),
+        destination_index=destination_index,
     )
 
 

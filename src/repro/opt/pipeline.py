@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.diagnostics import ReproError
-from repro.ir.program import BasicBlock, Program, Statement
+from repro.ir.program import BasicBlock, CBranch, Program, Statement
 from repro.opt.cse import (
     MIN_OCCURRENCES,
     MIN_OPS,
@@ -28,8 +28,8 @@ from repro.opt.cse import (
     eliminate_common_subexpressions,
     eliminate_dead_temporaries,
 )
-from repro.opt.dag import ProgramDAG
-from repro.opt.fold import fold_statement, split_rewrite_counts
+from repro.opt.dag import ProgramDAG, copy_expr, copy_terminator
+from repro.opt.fold import fold_expr, fold_statement, split_rewrite_counts
 
 
 class OptimizationError(ReproError):
@@ -128,9 +128,15 @@ def copy_program(program: Program) -> Program:
                     Statement(
                         destination=statement.destination,
                         expression=builder.dag.to_expr(root),
+                        destination_index=(
+                            None
+                            if statement.destination_index is None
+                            else copy_expr(statement.destination_index)
+                        ),
                     )
                     for statement, root in zip(block.statements, roots)
                 ],
+                terminator=copy_terminator(block.terminator),
             )
         )
     return Program(
@@ -138,6 +144,25 @@ def copy_program(program: Program) -> Program:
         blocks=blocks,
         scalars=list(program.scalars),
         arrays=dict(program.arrays),
+        entry=program.entry,
+    )
+
+
+def _fold_terminator(terminator, rewrites=None):
+    """A fresh terminator with a folded branch condition (``None`` and
+    unconditional jumps pass through as fresh copies).
+
+    The condition never enters code selection (it runs on the branch
+    logic), so the *operator-introducing* ``supported_ops`` gating does
+    not apply to it -- folding runs ungated, keeping ``while (1)``-style
+    conditions cheap.
+    """
+    if terminator is None or not isinstance(terminator, CBranch):
+        return copy_terminator(terminator)
+    return CBranch(
+        condition=fold_expr(terminator.condition, rewrites=rewrites),
+        true_target=terminator.true_target,
+        false_target=terminator.false_target,
     )
 
 
@@ -203,11 +228,15 @@ class OptPipeline:
                                 )
                                 for statement in block.statements
                             ],
+                            terminator=_fold_terminator(
+                                block.terminator, rewrites=stats.rewrites
+                            ),
                         )
                         for block in current.blocks
                     ],
                     scalars=list(current.scalars),
                     arrays=dict(current.arrays),
+                    entry=current.entry,
                 )
                 produced_fresh = True
             elif stage == "cse":

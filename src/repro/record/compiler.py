@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 from repro.codegen.compaction import InstructionWord, code_size
-from repro.codegen.selection import RTInstance, StatementCode
+from repro.codegen.selection import RTInstance, StatementCode, is_control_code
 from repro.codegen.spill import count_spills
 from repro.frontend.lowering import lower_to_program
 from repro.ir.binding import ResourceBinding
@@ -84,7 +84,7 @@ class CompiledProgram(CompilationResult):
             operation_count=len(instance_list),
             spill_count=count_spills(instance_list),
             selection_cost=sum(code.cost for code in codes),
-            statement_count=len(codes),
+            statement_count=sum(1 for code in codes if not is_control_code(code)),
             compile_time_s=0.0,
         )
         CompilationResult.__init__(

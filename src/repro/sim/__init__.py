@@ -11,7 +11,9 @@ from repro.sim.rtsim import (
     SimulationError,
     SimulationTrace,
     TraceStep,
+    simulate_block_codes,
     simulate_statement_code,
+    trace_cfg_execution,
     trace_execution,
 )
 
@@ -20,6 +22,8 @@ __all__ = [
     "SimulationError",
     "SimulationTrace",
     "TraceStep",
+    "simulate_block_codes",
     "simulate_statement_code",
+    "trace_cfg_execution",
     "trace_execution",
 ]

@@ -17,9 +17,16 @@ import time
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional
 
-from repro.codegen.compaction import InstructionWord, compact
+from repro.codegen.compaction import InstructionWord, compact, compact_blocks
 from repro.codegen.schedule import schedule_instances
-from repro.codegen.selection import RTInstance, StatementCode, select_statement
+from repro.codegen.selection import (
+    BlockCode,
+    RTInstance,
+    StatementCode,
+    is_multi_block,
+    select_statement,
+    select_terminator,
+)
 from repro.codegen.spill import insert_spills
 from repro.diagnostics import Diagnostic, PipelineError
 from repro.ir.binding import ResourceBinding
@@ -170,6 +177,10 @@ class CompilationState:
 
     program: Program
     statement_codes: List[StatementCode] = field(default_factory=list)
+    # Per-block view of the same StatementCode objects (plus the branch
+    # pseudo-code at every block end); the CFG structure the simulator
+    # and the compactor work from.
+    block_codes: List[BlockCode] = field(default_factory=list)
     words: List[InstructionWord] = field(default_factory=list)
     encoding: Optional[str] = None
     pass_timings: Dict[str, float] = field(default_factory=dict)
@@ -290,15 +301,30 @@ class SelectionPass(Pass):
         misses_before = selector.memo_misses
         labelled_before = selector.nodes_labelled
         for block in state.program.blocks:
+            block_statement_codes: List[StatementCode] = []
             for statement in block.statements:
                 code = select_statement(statement, selector, context.binding)
-                state.statement_codes.append(
+                block_statement_codes.append(
                     StatementCode(
                         statement=code.statement,
                         cost=code.cost,
                         instances=list(code.instances),
                     )
                 )
+            terminator_code = (
+                None
+                if block.terminator is None
+                else select_terminator(block.terminator, block.name)
+            )
+            block_code = BlockCode(
+                name=block.name,
+                codes=block_statement_codes,
+                terminator_code=terminator_code,
+            )
+            state.block_codes.append(block_code)
+            # Flat view (same StatementCode objects): what the schedule,
+            # spill and metric layers iterate.
+            state.statement_codes.extend(block_code.all_codes())
         # Per-run deltas of the (possibly shared) selector's counters;
         # approximate under concurrent compiles against one pooled session,
         # exact otherwise.
@@ -357,7 +383,11 @@ class CompactionPass(Pass):
         self.enabled = enabled
 
     def run(self, state: CompilationState, context: PassContext) -> None:
-        state.words = compact(state.all_instances(), enabled=self.enabled)
+        if is_multi_block(state.block_codes):
+            # Multi-block program: per-block packing, labelled words.
+            state.words = compact_blocks(state.block_codes, enabled=self.enabled)
+        else:
+            state.words = compact(state.all_instances(), enabled=self.enabled)
 
 
 class EncodingPass(Pass):

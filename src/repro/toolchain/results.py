@@ -33,7 +33,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.codegen.compaction import InstructionWord, code_size
 from repro.codegen.emitter import format_listing
-from repro.codegen.selection import RTInstance, StatementCode
+from repro.codegen.selection import BlockCode, RTInstance, StatementCode, is_control_code
 from repro.codegen.spill import count_spills
 from repro.diagnostics import Diagnostic, ResultError
 from repro.ir.binding import ResourceBinding
@@ -172,6 +172,9 @@ class CompilationResult:
     statement_codes: Tuple[StatementCode, ...] = field(
         default=(), repr=False, compare=False
     )
+    # Per-block view (same StatementCode objects plus branch pseudo-code);
+    # empty on legacy/straight-line construction paths.
+    block_codes: Tuple[BlockCode, ...] = field(default=(), repr=False, compare=False)
     words: Tuple[InstructionWord, ...] = field(default=(), repr=False, compare=False)
     binding: Optional[ResourceBinding] = field(default=None, repr=False, compare=False)
     # Stored renderings -- populated on detached results so every view
@@ -201,7 +204,9 @@ class CompilationResult:
             operation_count=len(instances),
             spill_count=count_spills(instances),
             selection_cost=sum(code.cost for code in state.statement_codes),
-            statement_count=len(state.statement_codes),
+            statement_count=sum(
+                1 for code in state.statement_codes if not is_control_code(code)
+            ),
             compile_time_s=sum(state.pass_timings.values()),
             nodes_labelled=int(selection_stats.get("nodes_labelled", 0)),
             label_memo_hit_rate=float(selection_stats.get("memo_hit_rate", 0.0)),
@@ -222,6 +227,7 @@ class CompilationResult:
             encoding=state.encoding,
             program=program,
             statement_codes=tuple(state.statement_codes),
+            block_codes=tuple(state.block_codes),
             words=tuple(state.words),
             binding=binding,
         )
@@ -304,18 +310,44 @@ class CompilationResult:
             % (name, ", ".join(self.VIEWS))
         )
 
-    def simulation_trace(self, environment: Optional[Dict[str, int]] = None):
-        """Execute the generated code through the RT-level simulator and
-        return the :class:`~repro.sim.rtsim.SimulationTrace` (per-statement
-        operations + environment snapshots).  Live results only."""
-        self._require_artifacts("statement codes (needed for simulation)")
-        from repro.sim.rtsim import trace_execution
+    @property
+    def is_multi_block(self) -> bool:
+        """True when the compiled program is a CFG (loops/branches)."""
+        from repro.codegen.selection import is_multi_block
 
+        return is_multi_block(self.block_codes)
+
+    def simulation_trace(
+        self,
+        environment: Optional[Dict[str, int]] = None,
+        max_steps: Optional[int] = None,
+    ):
+        """Execute the generated code through the RT-level simulator and
+        return the :class:`~repro.sim.rtsim.SimulationTrace` (per executed
+        statement: operations + environment snapshot; loop bodies appear
+        once per iteration).  Live results only.  ``max_steps`` bounds CFG
+        execution (default: the IR step limit)."""
+        self._require_artifacts("statement codes (needed for simulation)")
+        from repro.ir.program import DEFAULT_STEP_LIMIT
+        from repro.sim.rtsim import trace_cfg_execution, trace_execution
+
+        if self.is_multi_block:
+            entry = self.program.entry_block_name() if self.program else None
+            return trace_cfg_execution(
+                list(self.block_codes),
+                environment or {},
+                entry=entry,
+                max_steps=max_steps if max_steps is not None else DEFAULT_STEP_LIMIT,
+            )
         return trace_execution(list(self.statement_codes), environment or {})
 
-    def simulate(self, environment: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+    def simulate(
+        self,
+        environment: Optional[Dict[str, int]] = None,
+        max_steps: Optional[int] = None,
+    ) -> Dict[str, int]:
         """The final environment after simulating the generated code."""
-        return self.simulation_trace(environment).final_environment
+        return self.simulation_trace(environment, max_steps=max_steps).final_environment
 
     # -- serialization ------------------------------------------------------------
 

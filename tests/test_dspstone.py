@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.dspstone import FIGURE2_ORDER, all_kernel_names, get_kernel, kernel_program
+from repro.dspstone import (
+    FIGURE2_ORDER,
+    LOOP_KERNELS,
+    all_kernel_names,
+    get_kernel,
+    kernel_program,
+    loop_kernel_names,
+)
 from repro.frontend import parse_source
 
 
@@ -80,3 +87,42 @@ class TestKernelShapes:
     def test_convolution_reverses_coefficients(self):
         kernel = get_kernel("convolution")
         assert "h[7]" in kernel.source and "x[0]" in kernel.source
+
+
+class TestLoopKernels:
+    def test_loop_kernel_collection(self):
+        names = loop_kernel_names()
+        assert names == LOOP_KERNELS
+        assert "fir_loop" in names and "dot_product_loop" in names
+        # The figure-2 collection is untouched by the loop forms.
+        assert set(names).isdisjoint(all_kernel_names())
+
+    def test_every_loop_kernel_names_an_unrolled_counterpart(self):
+        for name in loop_kernel_names():
+            kernel = get_kernel(name)
+            assert kernel.unrolled in all_kernel_names(), name
+
+    def test_loop_kernels_lower_to_cfgs(self):
+        for name in loop_kernel_names():
+            program = kernel_program(name)
+            assert not program.is_straight_line(), name
+            assert len(program.blocks) >= 3, name
+
+    def test_loop_kernels_match_unrolled_reference_execution(self):
+        for name in loop_kernel_names():
+            kernel = get_kernel(name)
+            loop_program = kernel_program(name)
+            unrolled_program = kernel_program(kernel.unrolled)
+            environment = {}
+            for array, size in sorted(loop_program.arrays.items()):
+                for index in range(size):
+                    environment["%s[%d]" % (array, index)] = index * 7 + 3
+            loop_out = loop_program.execute(dict(environment))
+            unrolled_out = unrolled_program.execute(dict(environment))
+            for key in unrolled_program.all_variables():
+                if key in loop_out:
+                    assert loop_out[key] == unrolled_out.get(key, 0), (name, key)
+
+    def test_trip_counts_documented(self):
+        for name in loop_kernel_names():
+            assert get_kernel(name).parameters, name

@@ -119,9 +119,14 @@ class TestLowering:
         with pytest.raises(LoweringError):
             lower_to_program("int x[2], a; a = x[5];")
 
-    def test_non_constant_index_rejected(self):
-        with pytest.raises(LoweringError):
-            lower_to_program("int x[4], i, a; a = x[i];")
+    def test_non_constant_index_lowers_to_array_ref(self):
+        from repro.ir.expr import ArrayRef, VarRef
+
+        program = lower_to_program("int x[4], i, a; a = x[i];")
+        expression = program.single_block().statements[0].expression
+        assert isinstance(expression, ArrayRef)
+        assert expression.name == "x"
+        assert expression.index == VarRef("i")
 
     def test_negative_index_rejected(self):
         with pytest.raises(LoweringError):
