@@ -1,0 +1,118 @@
+"""The generic worklist dataflow solver.
+
+A :class:`DataflowProblem` describes one analysis: its direction, the
+boundary value (at the entry block for forward problems, at the exit
+blocks for backward ones), the optimistic initial value, the join over
+predecessor/successor values and the per-block transfer function.
+:func:`solve` iterates it to the least fixpoint over a
+:class:`~repro.analysis.cfg.ControlFlowGraph` with a deterministic
+worklist (seeded in RPO for forward problems, reverse RPO for backward
+ones), so two runs over the same program produce identical results.
+
+Values are :class:`frozenset` lattices joined by union -- exactly what
+liveness and reaching definitions need; dominators use the specialised
+Cooper--Harvey--Kennedy algorithm in :mod:`repro.analysis.dominators`
+instead of this solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from repro.analysis.cfg import ControlFlowGraph
+
+Value = FrozenSet[object]
+
+
+class DataflowProblem:
+    """One dataflow analysis over frozenset values.
+
+    Subclasses set :attr:`direction` (``"forward"`` or ``"backward"``)
+    and implement :meth:`transfer`; :meth:`boundary`, :meth:`initial` and
+    :meth:`join` default to the empty set / union (a may-analysis).
+    """
+
+    direction: str = "forward"
+
+    def boundary(self) -> Value:
+        """Value flowing in at the CFG boundary (entry block for forward
+        problems, terminator-less exit blocks for backward ones)."""
+        return frozenset()
+
+    def initial(self, block: str) -> Value:
+        """Optimistic starting value of every block (least element)."""
+        return frozenset()
+
+    def join(self, values: Iterable[Value]) -> Value:
+        merged: Set[object] = set()
+        for value in values:
+            merged.update(value)
+        return frozenset(merged)
+
+    def transfer(self, block: str, value: Value) -> Value:
+        raise NotImplementedError
+
+
+@dataclass
+class DataflowResult:
+    """The fixpoint of one :func:`solve` run.
+
+    ``in_of``/``out_of`` are keyed by block name and always refer to
+    *execution* order: ``in_of`` is the value at block entry, ``out_of``
+    at block exit -- for a backward problem like liveness ``in_of`` is
+    therefore live-in and ``out_of`` live-out.  ``iterations`` counts
+    transfer-function applications (a determinism/termination probe for
+    the property tests).
+    """
+
+    in_of: Dict[str, Value] = field(default_factory=dict)
+    out_of: Dict[str, Value] = field(default_factory=dict)
+    iterations: int = 0
+
+
+def solve(cfg: ControlFlowGraph, problem: DataflowProblem) -> DataflowResult:
+    """Iterate ``problem`` to its least fixpoint over ``cfg``."""
+    if problem.direction not in ("forward", "backward"):
+        raise ValueError(
+            "unknown dataflow direction %r (use 'forward' or 'backward')"
+            % problem.direction
+        )
+    forward = problem.direction == "forward"
+    names = list(cfg.names) if forward else list(reversed(cfg.names))
+    into = cfg.predecessors if forward else cfg.successors
+    outof = cfg.successors if forward else cfg.predecessors
+
+    result = DataflowResult()
+    # ``known`` holds the transfer-side value (out for forward, in for
+    # backward); ``met`` the join-side value.
+    known: Dict[str, Value] = {name: problem.initial(name) for name in cfg.names}
+    met: Dict[str, Value] = {name: problem.initial(name) for name in cfg.names}
+
+    worklist: List[str] = list(names)
+    queued: Set[str] = set(names)
+    while worklist:
+        block = worklist.pop(0)
+        queued.discard(block)
+        incoming = [known[neighbour] for neighbour in into[block]]
+        if forward and block == cfg.entry:
+            incoming.append(problem.boundary())
+        if not forward and not cfg.successors[block]:
+            incoming.append(problem.boundary())
+        joined = problem.join(incoming)
+        met[block] = joined
+        transferred = problem.transfer(block, joined)
+        result.iterations += 1
+        if transferred != known[block]:
+            known[block] = transferred
+            for neighbour in outof[block]:
+                if neighbour not in queued:
+                    worklist.append(neighbour)
+                    queued.add(neighbour)
+    if forward:
+        result.in_of = dict(met)
+        result.out_of = dict(known)
+    else:
+        result.in_of = dict(known)
+        result.out_of = dict(met)
+    return result

@@ -1,0 +1,99 @@
+"""Block-level liveness analysis (backward may-analysis).
+
+Uses/defs follow the IR's storage model:
+
+* a scalar assignment (or constant-index array element assignment, whose
+  destination already *is* the element name) **kills** its destination;
+* a runtime-indexed array store ``a[i] = e`` is a **may-def** of the
+  array base ``a``: it writes one unknown element, so it does not kill
+  the base -- conservatively the base also counts as *used* (the other
+  elements flow through the statement);
+* output-port destinations (``@port``) define nothing program-visible;
+* branch conditions read their variables at the end of the block.
+
+Names are treated independently: a constant-index element (``a[3]``) and
+the runtime-indexed base (``a``) are distinct liveness names, mirroring
+:func:`repro.ir.expr.expr_variables` -- conservative for mixed
+constant/runtime access, exact everywhere else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.dataflow import DataflowProblem, solve
+from repro.ir.expr import expr_variables
+from repro.ir.program import Program, Statement
+
+
+def statement_uses(statement: Statement) -> Set[str]:
+    """Variables a statement reads (incl. store-index expressions and the
+    may-def array base of a runtime-indexed store)."""
+    uses = expr_variables(statement.expression)
+    if statement.destination_index is not None:
+        uses.update(expr_variables(statement.destination_index))
+        uses.add(statement.destination)
+    return uses
+
+
+def statement_kills(statement: Statement) -> Set[str]:
+    """Variables a statement definitely (re)defines."""
+    if statement.destination_index is not None:
+        return set()
+    if statement.destination.startswith("@"):
+        return set()
+    return {statement.destination}
+
+
+def block_use_def(block) -> Tuple[Set[str], Set[str]]:
+    """Upward-exposed uses and definite defs of one basic block."""
+    use: Set[str] = set()
+    deff: Set[str] = set()
+    for statement in block.statements:
+        use.update(statement_uses(statement) - deff)
+        deff.update(statement_kills(statement))
+    if block.terminator is not None:
+        use.update(block.terminator.variables() - deff)
+    return use, deff
+
+
+class LivenessProblem(DataflowProblem):
+    direction = "backward"
+
+    def __init__(self, program: Program):
+        self._use: Dict[str, Set[str]] = {}
+        self._def: Dict[str, Set[str]] = {}
+        for block in program.blocks:
+            if block.name in self._use:
+                continue
+            use, deff = block_use_def(block)
+            self._use[block.name] = use
+            self._def[block.name] = deff
+
+    def transfer(self, block: str, live_out: FrozenSet[object]) -> FrozenSet[object]:
+        return frozenset(self._use[block] | (set(live_out) - self._def[block]))
+
+
+@dataclass
+class LivenessResult:
+    """Live-in/live-out variable sets of every reachable block."""
+
+    live_in: Dict[str, FrozenSet[str]]
+    live_out: Dict[str, FrozenSet[str]]
+    iterations: int = 0
+
+
+def liveness(
+    program: Program, cfg: Optional[ControlFlowGraph] = None
+) -> LivenessResult:
+    """Solve liveness over the program's reachable blocks."""
+    if cfg is None:
+        cfg = ControlFlowGraph.from_program(program)
+    solved = solve(cfg, LivenessProblem(program))
+    return LivenessResult(
+        live_in={name: frozenset(value) for name, value in solved.in_of.items()},
+        live_out={name: frozenset(value) for name, value in solved.out_of.items()},
+        iterations=solved.iterations,
+    )

@@ -1,0 +1,172 @@
+"""Reaching definitions and use--def chains (forward may-analysis).
+
+A :class:`Definition` names one definition site ``(block, index,
+variable)``.  Scalar and constant-index-element assignments are
+*definite* definitions (they kill earlier definitions of the same name);
+runtime-indexed array stores are *may*-definitions of the array base
+(gen without kill).  The boundary at the entry block carries one
+synthetic :data:`UNINITIALIZED` definition per program variable, so a
+use reached by it is a possibly-uninitialized read --
+:func:`possibly_uninitialized_uses` surfaces exactly those, and the
+pipeline verifier applies it to the optimizer's reserved ``__cse*``
+temporaries (for which *any* such read is a bug; ordinary variables read
+before assignment are simply program inputs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.dataflow import DataflowProblem, solve
+from repro.analysis.liveness import statement_kills, statement_uses
+from repro.ir.program import Program
+
+#: Block label of the synthetic entry definitions modelling "defined
+#: before the program starts (or never)".
+UNINITIALIZED = "<entry>"
+
+
+@dataclass(frozen=True, order=True)
+class Definition:
+    """One definition site; ``index`` is the statement position inside
+    ``block`` (-1 for the synthetic entry definition)."""
+
+    block: str
+    index: int
+    variable: str
+
+    @property
+    def is_uninitialized(self) -> bool:
+        return self.block == UNINITIALIZED
+
+    def __str__(self) -> str:
+        if self.is_uninitialized:
+            return "%s(uninitialized)" % self.variable
+        return "%s@%s[%d]" % (self.variable, self.block, self.index)
+
+
+def _block_definitions(block) -> List[Tuple[int, str, bool]]:
+    """Definition sites of one block: ``(index, variable, definite)``."""
+    sites: List[Tuple[int, str, bool]] = []
+    for position, statement in enumerate(block.statements):
+        if statement.destination.startswith("@"):
+            continue
+        definite = statement.destination_index is None
+        sites.append((position, statement.destination, definite))
+    return sites
+
+
+class ReachingProblem(DataflowProblem):
+    direction = "forward"
+
+    def __init__(self, program: Program, include_uninitialized: bool = True):
+        self._sites: Dict[str, List[Tuple[int, str, bool]]] = {}
+        for block in program.blocks:
+            if block.name not in self._sites:
+                self._sites[block.name] = _block_definitions(block)
+        self._boundary: FrozenSet[object] = frozenset()
+        if include_uninitialized:
+            self._boundary = frozenset(
+                Definition(UNINITIALIZED, -1, name)
+                for name in sorted(program.all_variables() | set(program.scalars))
+            )
+
+    def boundary(self) -> FrozenSet[object]:
+        return self._boundary
+
+    def transfer(self, block: str, reach_in: FrozenSet[object]) -> FrozenSet[object]:
+        live: Dict[str, Set[Definition]] = {}
+        for definition in reach_in:
+            live.setdefault(definition.variable, set()).add(definition)
+        for position, variable, definite in self._sites[block]:
+            site = Definition(block, position, variable)
+            if definite:
+                live[variable] = {site}
+            else:
+                live.setdefault(variable, set()).add(site)
+        merged: Set[Definition] = set()
+        for definitions in live.values():
+            merged.update(definitions)
+        return frozenset(merged)
+
+
+@dataclass
+class ReachingResult:
+    """Reaching-definition sets at block entry/exit."""
+
+    reach_in: Dict[str, FrozenSet[Definition]]
+    reach_out: Dict[str, FrozenSet[Definition]]
+    iterations: int = 0
+
+
+def reaching_definitions(
+    program: Program,
+    cfg: Optional[ControlFlowGraph] = None,
+    include_uninitialized: bool = True,
+) -> ReachingResult:
+    """Solve reaching definitions over the program's reachable blocks."""
+    if cfg is None:
+        cfg = ControlFlowGraph.from_program(program)
+    solved = solve(cfg, ReachingProblem(program, include_uninitialized))
+    return ReachingResult(
+        reach_in={name: frozenset(value) for name, value in solved.in_of.items()},
+        reach_out={name: frozenset(value) for name, value in solved.out_of.items()},
+        iterations=solved.iterations,
+    )
+
+
+#: A use site: ``(block, statement index, variable)``; the terminator's
+#: condition reads are keyed at index ``len(block.statements)``.
+UseSite = Tuple[str, int, str]
+
+
+def use_def_chains(
+    program: Program,
+    result: Optional[ReachingResult] = None,
+    cfg: Optional[ControlFlowGraph] = None,
+) -> Dict[UseSite, FrozenSet[Definition]]:
+    """Map every use site to the definitions that may reach it."""
+    if cfg is None:
+        cfg = ControlFlowGraph.from_program(program)
+    if result is None:
+        result = reaching_definitions(program, cfg=cfg)
+    chains: Dict[UseSite, FrozenSet[Definition]] = {}
+    for name in cfg.names:
+        block = program.block(name)
+        live: Dict[str, Set[Definition]] = {}
+        for definition in result.reach_in.get(name, frozenset()):
+            live.setdefault(definition.variable, set()).add(definition)
+        for position, statement in enumerate(block.statements):
+            for variable in sorted(statement_uses(statement)):
+                chains[(name, position, variable)] = frozenset(
+                    live.get(variable, set())
+                )
+            for variable in statement_kills(statement):
+                live[variable] = {Definition(name, position, variable)}
+            if statement.destination_index is not None:
+                live.setdefault(statement.destination, set()).add(
+                    Definition(name, position, statement.destination)
+                )
+        if block.terminator is not None:
+            position = len(block.statements)
+            for variable in sorted(block.terminator.variables()):
+                chains[(name, position, variable)] = frozenset(
+                    live.get(variable, set())
+                )
+    return chains
+
+
+def possibly_uninitialized_uses(
+    program: Program, cfg: Optional[ControlFlowGraph] = None
+) -> List[UseSite]:
+    """Use sites that a synthetic entry definition may reach, i.e. reads
+    not dominated by any assignment (deterministic order)."""
+    chains = use_def_chains(program, cfg=cfg)
+    flagged = [
+        site
+        for site, definitions in chains.items()
+        if any(definition.is_uninitialized for definition in definitions)
+    ]
+    return sorted(flagged)

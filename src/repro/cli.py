@@ -12,6 +12,8 @@ Usage (also available as ``python -m repro ...``)::
     python -m repro compile tms320c25 --kernel fir --preset no-chained
     python -m repro compile tms320c25 --kernel fir --json --timings
     python -m repro compile tms320c25 --kernel fir --no-opt
+    python -m repro compile tms320c25 --kernel fir --verify --timings
+    python -m repro lint-target tms320c25        # grammar/matcher lints
     python -m repro compile tms320c25 --kernel fir_loop  # loop kernel -> labelled CFG
     python -m repro opt prog.c                   # IR optimizer before/after
     python -m repro opt --kernel fir --stages fold,cse
@@ -117,6 +119,23 @@ def _cmd_retarget(args) -> int:
     return 0
 
 
+def _cmd_lint_target(args) -> int:
+    from repro.analysis import lint_target
+
+    result = _session(args).retarget_result
+    findings = lint_target(result)
+    for finding in findings:
+        print("%-7s %s" % (finding.severity + ":", finding.describe()))
+    errors = sum(1 for finding in findings if finding.severity == "error")
+    warnings = sum(1 for finding in findings if finding.severity == "warning")
+    print(
+        "%s: %d finding(s) -- %d error(s), %d warning(s), %d note(s)"
+        % (result.processor, len(findings), errors, warnings,
+           len(findings) - errors - warnings)
+    )
+    return 1 if errors else 0
+
+
 def _cmd_compile(args) -> int:
     if args.baseline and args.preset:
         raise SystemExit("error: --baseline and --preset are mutually exclusive")
@@ -132,6 +151,8 @@ def _cmd_compile(args) -> int:
         # Byte-identical pre-optimizer pipeline: selection runs on the
         # raw lowered trees.
         config = config.with_updates(use_optimizer=False)
+    if args.verify:
+        config = config.with_updates(verify=True)
     session = _session(args, config=config)
     if args.kernel:
         kernel = get_kernel(args.kernel)
@@ -368,7 +389,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-opt", action="store_true",
         help="skip the IR optimizer (byte-identical pre-optimizer pipeline)",
     )
+    compile_parser.add_argument(
+        "--verify", action="store_true",
+        help="run the static pipeline verifier after every pass "
+        "(invariant violations abort the compile with a diagnostic)",
+    )
     _add_cache_flags(compile_parser)
+
+    lint_parser = subparsers.add_parser(
+        "lint-target",
+        help="static lints over a retargeted processor's tree grammar",
+        description="Reports unreachable and shadowed grammar rules, "
+        "zero-cost chain cycles and operators no subject tree can "
+        "contain, computed from the same matcher tables the selector "
+        "runs on.  Exit status 1 when any error-severity finding exists.",
+    )
+    lint_parser.add_argument("target", help="registered target name or HDL file path")
+    _add_cache_flags(lint_parser)
 
     opt_parser = subparsers.add_parser(
         "opt",
@@ -438,6 +475,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_kernels(args)
     if args.command == "retarget":
         return _cmd_retarget(args)
+    if args.command == "lint-target":
+        return _cmd_lint_target(args)
     if args.command == "compile":
         return _cmd_compile(args)
     if args.command == "opt":

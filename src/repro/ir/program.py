@@ -220,6 +220,56 @@ class Program:
         terminator = self.block(name).terminator
         return terminator.targets() if terminator is not None else ()
 
+    def reverse_postorder(self) -> List[str]:
+        """Reachable block names in deterministic reverse postorder.
+
+        Successors are explored in reversed declared order, so the RPO
+        follows the first-successor path first; for the structured CFGs
+        the frontend emits this is exactly the textual layout order
+        (entry, then, else, join / entry, header, body, exit).  Branch
+        targets that do not name a block are skipped (they are flagged by
+        the verifier, not here); duplicate block names keep the first
+        occurrence, matching :meth:`block`.
+        """
+        if not self.blocks:
+            return []
+        edges: Dict[str, tuple] = {}
+        for block in self.blocks:
+            if block.name in edges:
+                continue
+            terminator = block.terminator
+            edges[block.name] = terminator.targets() if terminator is not None else ()
+        entry = self.entry_block_name()
+        if entry not in edges:
+            return []
+        order: List[str] = []
+        visited = {entry}
+        stack: List[tuple] = [(entry, list(edges[entry]))]
+        while stack:
+            name, pending = stack[-1]
+            advanced = False
+            while pending:
+                target = pending.pop()
+                if target in edges and target not in visited:
+                    visited.add(target)
+                    stack.append((target, list(edges[target])))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(name)
+                stack.pop()
+        order.reverse()
+        return order
+
+    def reachable_blocks(self) -> List[BasicBlock]:
+        """The reachable basic blocks, in :meth:`reverse_postorder` order.
+
+        The iteration the backend uses instead of raw ``blocks``:
+        unreachable blocks never reach selection, so listings and
+        encodings cannot silently emit dead code.
+        """
+        return [self.block(name) for name in self.reverse_postorder()]
+
     def is_straight_line(self) -> bool:
         """True for the classic one-block, fall-off-the-end shape."""
         return len(self.blocks) == 1 and self.blocks[0].terminator is None

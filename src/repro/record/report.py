@@ -44,6 +44,10 @@ def compilation_report(result) -> str:
     lines.append("compile time:     %8.6f s total" % metrics.compile_time_s)
     for pass_name, seconds in result.pass_timings.items():
         lines.append("    %-18s %10.6f s" % (pass_name, seconds))
+    if metrics.verify_checks:
+        lines.append("verify:           %8.6f s (%d check batch(es), "
+                     "not counted in compile time)"
+                     % (metrics.verify_time_s, metrics.verify_checks))
     for diagnostic in result.diagnostics:
         lines.append(str(diagnostic))
     return "\n".join(lines) + "\n"

@@ -58,7 +58,9 @@ class CompileRequest:
     ablation; ``config`` pins an explicit :class:`PipelineConfig`
     (mutually exclusive with ``preset``).  ``opt`` overrides the IR
     optimizer knob of whichever config the request resolves to
-    (``"opt": false`` in a batch job A/Bs the optimizer per request).
+    (``"opt": false`` in a batch job A/Bs the optimizer per request);
+    ``verify`` likewise overrides the static-verifier knob
+    (``"verify": true`` runs the pipeline verifier for that job).
     ``request_id`` is echoed back in the response so callers can
     correlate out-of-order streams.
     """
@@ -70,6 +72,7 @@ class CompileRequest:
     preset: Optional[str] = None
     config: Optional[PipelineConfig] = None
     opt: Optional[bool] = None
+    verify: Optional[bool] = None
     binding_overrides: Dict[str, str] = field(default_factory=dict)
     request_id: Optional[str] = None
 
@@ -95,6 +98,8 @@ class CompileRequest:
             config = PipelineConfig()
         if self.opt is not None:
             config = config.with_updates(use_optimizer=self.opt)
+        if self.verify is not None:
+            config = config.with_updates(verify=self.verify)
         return config
 
     def display_name(self, index: int = 0) -> str:
@@ -118,6 +123,8 @@ class CompileRequest:
             data["config"] = self.config.to_dict()
         if self.opt is not None:
             data["opt"] = self.opt
+        if self.verify is not None:
+            data["verify"] = self.verify
         if self.binding_overrides:
             data["binding_overrides"] = dict(self.binding_overrides)
         if self.request_id is not None:
@@ -141,6 +148,7 @@ class CompileRequest:
             "preset",
             "config",
             "opt",
+            "verify",
             "binding_overrides",
             "request_id",
         }
@@ -153,6 +161,9 @@ class CompileRequest:
         opt = data.get("opt")
         if opt is not None and not isinstance(opt, bool):
             raise RequestError('"opt" must be a JSON boolean')
+        verify = data.get("verify")
+        if verify is not None and not isinstance(verify, bool):
+            raise RequestError('"verify" must be a JSON boolean')
         request = cls(
             target=data.get("target", ""),
             source=data.get("source"),
@@ -161,6 +172,7 @@ class CompileRequest:
             preset=data.get("preset"),
             config=None if config is None else PipelineConfig.from_dict(config),
             opt=opt,
+            verify=verify,
             binding_overrides=dict(data.get("binding_overrides") or {}),
             request_id=data.get("request_id"),
         )

@@ -13,6 +13,7 @@ paper are available as named presets (:data:`PRESETS`), extended with
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import asdict, dataclass, field, replace
 from typing import Dict, List, Optional
@@ -40,6 +41,13 @@ from repro.selector.burs import CodeSelector
 # ---------------------------------------------------------------------------
 
 
+def _verify_default() -> bool:
+    """Default of ``PipelineConfig.verify``: the ``REPRO_VERIFY``
+    environment variable (the CI test suites compile with the static
+    verifier enabled throughout; interactive use opts in per run)."""
+    return os.environ.get("REPRO_VERIFY", "").strip().lower() in ("1", "true", "on", "yes")
+
+
 @dataclass(frozen=True)
 class PipelineConfig:
     """Declarative description of one backend pipeline.
@@ -60,6 +68,10 @@ class PipelineConfig:
     use_compaction: bool = True
     encode: bool = False
     use_optimizer: bool = True
+    # Run the static pipeline verifier (repro.analysis.verify) around
+    # every pass; not a pass itself (pass_names() is unchanged), its cost
+    # is reported separately as CompileMetrics.verify_time_s.
+    verify: bool = field(default_factory=_verify_default)
 
     def pass_names(self) -> List[str]:
         names = []
@@ -191,6 +203,11 @@ class CompilationState:
     # Statistics of this run's IR optimization pass (None when the
     # optimizer did not run); flows into CompileMetrics as well.
     opt_stats: Optional[OptStats] = None
+    # Static-verifier accounting (PipelineConfig.verify): wall-clock
+    # seconds spent checking and the number of check batches run.  Kept
+    # out of pass_timings -- the verifier is not a pass.
+    verify_time_s: float = 0.0
+    verify_checks: int = 0
 
     def add_diagnostic(
         self, severity: str, message: str, phase: str = ""
@@ -300,7 +317,19 @@ class SelectionPass(Pass):
         hits_before = selector.memo_hits
         misses_before = selector.memo_misses
         labelled_before = selector.nodes_labelled
-        for block in state.program.blocks:
+        reachable = state.program.reachable_blocks()
+        if len(reachable) < len(state.program.blocks):
+            dropped = [
+                block.name
+                for block in state.program.blocks
+                if all(block is not kept for kept in reachable)
+            ]
+            state.add_diagnostic(
+                "warning",
+                "unreachable block(s) not selected: %s" % ", ".join(dropped),
+                phase=self.name,
+            )
+        for block in reachable:
             block_statement_codes: List[StatementCode] = []
             for statement in block.statements:
                 code = select_statement(statement, selector, context.binding)
@@ -457,9 +486,23 @@ class PassManager:
         times of table 3.
         """
         state = CompilationState(program=program)
+        verifier = None
+        if context.config.verify:
+            from repro.analysis.verify import PipelineVerifier
+
+            verifier = PipelineVerifier()
         for p in self.passes:
+            if verifier is not None:
+                checked = time.perf_counter()
+                verifier.before_pass(p.name, state, context)
+                state.verify_time_s += time.perf_counter() - checked
             started = time.perf_counter()
             p.run(state, context)
             elapsed = time.perf_counter() - started
             state.pass_timings[p.name] = state.pass_timings.get(p.name, 0.0) + elapsed
+            if verifier is not None:
+                checked = time.perf_counter()
+                verifier.after_pass(p.name, state, context)
+                state.verify_time_s += time.perf_counter() - checked
+                state.verify_checks = verifier.checks_run
         return state

@@ -78,6 +78,10 @@ class CompileMetrics:
     opt_folds: int = 0
     opt_cse_hits: int = 0
     opt_temps: int = 0
+    # Static-verifier accounting (zero when PipelineConfig.verify was
+    # off); verify time is *not* part of compile_time_s.
+    verify_time_s: float = 0.0
+    verify_checks: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -95,6 +99,8 @@ class CompileMetrics:
             "opt_folds": self.opt_folds,
             "opt_cse_hits": self.opt_cse_hits,
             "opt_temps": self.opt_temps,
+            "verify_time_s": self.verify_time_s,
+            "verify_checks": self.verify_checks,
         }
 
     @classmethod
@@ -114,6 +120,8 @@ class CompileMetrics:
             opt_folds=data.get("opt_folds", 0),
             opt_cse_hits=data.get("opt_cse_hits", 0),
             opt_temps=data.get("opt_temps", 0),
+            verify_time_s=data.get("verify_time_s", 0.0),
+            verify_checks=data.get("verify_checks", 0),
         )
 
 
@@ -216,6 +224,8 @@ class CompilationResult:
             opt_folds=(opt_stats.folds + opt_stats.algebraic) if opt_stats else 0,
             opt_cse_hits=opt_stats.cse_hits if opt_stats else 0,
             opt_temps=opt_stats.temps_introduced if opt_stats else 0,
+            verify_time_s=getattr(state, "verify_time_s", 0.0),
+            verify_checks=getattr(state, "verify_checks", 0),
         )
         return cls(
             name=program.name,

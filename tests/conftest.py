@@ -1,6 +1,16 @@
-"""Shared fixtures: retargeted processors are expensive enough to share."""
+"""Shared fixtures: retargeted processors are expensive enough to share.
+
+The whole tier-1 suite compiles with the static pipeline verifier
+enabled: ``REPRO_VERIFY`` is set *before* any ``repro`` import, because
+``PipelineConfig``'s default (and the import-time ``PRESETS``) captures
+the environment when the dataclass is instantiated.
+"""
 
 from __future__ import annotations
+
+import os
+
+os.environ.setdefault("REPRO_VERIFY", "1")
 
 import pytest
 

@@ -1,0 +1,268 @@
+"""Dataflow analyses checked against naive fixpoint oracles.
+
+The solver in ``repro.analysis`` runs a worklist in reverse postorder;
+the oracles here use chaotic iteration over set equations (dominators:
+the textbook intersection equations; liveness/reaching: round-robin
+until nothing changes).  Both must agree on every CFG -- random graphs
+from hypothesis and every DSPStone kernel, loop forms included.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import (
+    ControlFlowGraph,
+    dominance_relation,
+    dominator_tree,
+    dominates,
+    immediate_dominators,
+    liveness,
+    possibly_uninitialized_uses,
+    reaching_definitions,
+    use_def_chains,
+)
+from repro.analysis.liveness import block_use_def
+from repro.analysis.reaching import UNINITIALIZED, Definition, ReachingProblem
+from repro.dspstone import all_kernel_names, kernel_program, loop_kernel_names
+from repro.ir.expr import Const, Op, VarRef
+from repro.ir.program import BasicBlock, CBranch, Jump, Program, Statement
+
+
+# ---------------------------------------------------------------------------
+# Naive oracles
+# ---------------------------------------------------------------------------
+
+
+def oracle_dominators(cfg: ControlFlowGraph):
+    """Textbook iterative dominator sets: Dom(entry) = {entry},
+    Dom(b) = {b} | intersection of Dom(p) over predecessors."""
+    names = list(cfg.names)
+    dom = {name: set(names) for name in names}
+    dom[cfg.entry] = {cfg.entry}
+    changed = True
+    while changed:
+        changed = False
+        for name in names:
+            if name == cfg.entry:
+                continue
+            preds = [p for p in cfg.predecessors[name]]
+            new = set(names)
+            for pred in preds:
+                new &= dom[pred]
+            new |= {name}
+            if new != dom[name]:
+                dom[name] = new
+                changed = True
+    return dom
+
+def oracle_liveness(program, cfg: ControlFlowGraph):
+    """Chaotic-iteration liveness (no worklist, no ordering)."""
+    use, deff = {}, {}
+    for name in cfg.names:
+        use[name], deff[name] = block_use_def(program.block(name))
+    live_in = {name: set() for name in cfg.names}
+    live_out = {name: set() for name in cfg.names}
+    changed = True
+    while changed:
+        changed = False
+        for name in cfg.names:
+            out = set()
+            for succ in cfg.successors[name]:
+                out |= live_in[succ]
+            new_in = use[name] | (out - deff[name])
+            if out != live_out[name] or new_in != live_in[name]:
+                live_out[name] = out
+                live_in[name] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def oracle_reaching(program, cfg: ControlFlowGraph):
+    """Chaotic-iteration reaching definitions, reusing only the per-block
+    transfer (statement-level gen/kill is where the modelling lives)."""
+    problem = ReachingProblem(program)
+    reach_in = {name: frozenset() for name in cfg.names}
+    reach_out = {name: frozenset() for name in cfg.names}
+    changed = True
+    while changed:
+        changed = False
+        for name in cfg.names:
+            incoming = set()
+            if name == cfg.entry:
+                incoming |= set(problem.boundary())
+            for pred in cfg.names:
+                if name in cfg.successors[pred]:
+                    incoming |= set(reach_out[pred])
+            incoming = frozenset(incoming)
+            out = problem.transfer(name, incoming)
+            if incoming != reach_in[name] or out != reach_out[name]:
+                reach_in[name] = incoming
+                reach_out[name] = out
+                changed = True
+    return reach_in, reach_out
+
+
+def assert_matches_oracles(program):
+    cfg = ControlFlowGraph.from_program(program)
+    if not cfg.names:
+        return
+    # Dominators.
+    idom = immediate_dominators(cfg)
+    relation = dominance_relation(idom)
+    assert relation == oracle_dominators(cfg)
+    # Liveness.
+    result = liveness(program, cfg=cfg)
+    oracle_in, oracle_out = oracle_liveness(program, cfg)
+    assert {n: set(s) for n, s in result.live_in.items()} == oracle_in
+    assert {n: set(s) for n, s in result.live_out.items()} == oracle_out
+    # Reaching definitions.
+    reaching = reaching_definitions(program, cfg=cfg)
+    oracle_rin, oracle_rout = oracle_reaching(program, cfg)
+    assert reaching.reach_in == oracle_rin
+    assert reaching.reach_out == oracle_rout
+
+
+# ---------------------------------------------------------------------------
+# Random programs
+# ---------------------------------------------------------------------------
+
+_VARS = ["a", "b", "c", "d"]
+
+
+@st.composite
+def random_programs(draw):
+    block_count = draw(st.integers(min_value=1, max_value=6))
+    names = ["b%d" % i for i in range(block_count)]
+    blocks = []
+    for name in names:
+        statements = []
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            dest = draw(st.sampled_from(_VARS))
+            source = draw(st.sampled_from(_VARS))
+            statements.append(
+                Statement(dest, Op("add", (VarRef(source), Const(1))))
+            )
+        kind = draw(st.sampled_from(["none", "jump", "cbranch"]))
+        terminator = None
+        if kind == "jump":
+            terminator = Jump(draw(st.sampled_from(names)))
+        elif kind == "cbranch":
+            terminator = CBranch(
+                Op("lt", (VarRef(draw(st.sampled_from(_VARS))), Const(10))),
+                draw(st.sampled_from(names)),
+                draw(st.sampled_from(names)),
+            )
+        blocks.append(BasicBlock(name, statements, terminator))
+    return Program("random", blocks, scalars=list(_VARS))
+
+
+class TestAgainstOraclesOnRandomCFGs:
+    @settings(max_examples=120, deadline=None)
+    @given(random_programs())
+    def test_solver_matches_naive_fixpoints(self, program):
+        assert_matches_oracles(program)
+
+
+class TestAgainstOraclesOnKernels:
+    def test_every_unrolled_kernel(self):
+        for name in all_kernel_names():
+            assert_matches_oracles(kernel_program(name))
+
+    def test_every_loop_kernel(self):
+        for name in loop_kernel_names():
+            program = kernel_program(name)
+            assert not program.is_straight_line()
+            assert_matches_oracles(program)
+
+
+# ---------------------------------------------------------------------------
+# Hand-checked structure
+# ---------------------------------------------------------------------------
+
+
+def _diamond():
+    #    entry -> left/right -> exit, plus a back edge exit -> entry
+    cond = Op("lt", (VarRef("a"), Const(4)))
+    return Program(
+        "diamond",
+        [
+            BasicBlock("entry", [Statement("a", Const(1))],
+                       CBranch(cond, "left", "right")),
+            BasicBlock("left", [Statement("b", VarRef("a"))], Jump("exit")),
+            BasicBlock("right", [Statement("b", Const(9))], Jump("exit")),
+            BasicBlock("exit", [Statement("c", VarRef("b"))],
+                       CBranch(cond, "entry", "done")),
+            BasicBlock("done", [Statement("d", VarRef("c"))]),
+        ],
+        scalars=["a", "b", "c", "d"],
+    )
+
+
+class TestDominators:
+    def test_diamond_idoms(self):
+        cfg = ControlFlowGraph.from_program(_diamond())
+        idom = immediate_dominators(cfg)
+        assert idom == {
+            "entry": None,
+            "left": "entry",
+            "right": "entry",
+            "exit": "entry",
+            "done": "exit",
+        }
+
+    def test_dominator_tree_and_relation(self):
+        cfg = ControlFlowGraph.from_program(_diamond())
+        idom = immediate_dominators(cfg)
+        tree = dominator_tree(idom)
+        assert set(tree["entry"]) == {"left", "right", "exit"}
+        assert dominates(idom, "entry", "done")
+        assert dominates(idom, "exit", "done")
+        assert not dominates(idom, "left", "exit")
+
+
+class TestReachingChains:
+    def test_use_def_chains_pick_up_both_arms(self):
+        program = _diamond()
+        chains = use_def_chains(program)
+        # exit reads b, defined in both arms of the diamond.
+        reaching = chains[("exit", 0, "b")]
+        assert {(d.block, d.variable) for d in reaching} == {
+            ("left", "b"),
+            ("right", "b"),
+        }
+
+    def test_initialized_diamond_has_no_flagged_reads(self):
+        # Every read in the diamond is dominated by an assignment.
+        assert possibly_uninitialized_uses(_diamond()) == []
+
+    def test_reads_of_program_inputs_are_flagged(self):
+        program = Program(
+            "inputs",
+            [BasicBlock("entry", [Statement("y", VarRef("x"))])],
+            scalars=["x", "y"],
+        )
+        assert possibly_uninitialized_uses(program) == [("entry", 0, "x")]
+
+    def test_entry_definitions_are_marked(self):
+        definition = Definition(UNINITIALIZED, -1, "x")
+        assert definition.is_uninitialized
+        assert "uninitialized" in str(definition)
+
+
+class TestReversePostorder:
+    def test_matches_layout_on_kernels(self):
+        # Single-block programs: RPO is the block itself.
+        program = kernel_program("fir")
+        assert program.reverse_postorder() == [b.name for b in program.blocks]
+
+    def test_unreachable_blocks_are_dropped(self):
+        program = _diamond()
+        program.blocks.append(BasicBlock("orphan", [Statement("d", Const(0))]))
+        order = program.reverse_postorder()
+        assert "orphan" not in order
+        assert order[0] == "entry"
+        assert [b.name for b in program.reachable_blocks()] == order
+
+    def test_deterministic(self):
+        program = _diamond()
+        assert program.reverse_postorder() == program.reverse_postorder()
