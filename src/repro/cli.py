@@ -19,6 +19,9 @@ Usage (also available as ``python -m repro ...``)::
     python -m repro opt --kernel fir --stages fold,cse
     python -m repro batch jobs.jsonl             # concurrent batch service
     python -m repro batch - --jobs 4 < jobs.jsonl
+    python -m repro batch jobs.jsonl --backend process --workers 4
+    python -m repro serve                        # HTTP compile server
+    python -m repro serve --backend process --workers 4 --port 8357
     python -m repro cache                        # retarget-cache statistics
     python -m repro cache --clear
     python -m repro table3                       # print table 3
@@ -240,11 +243,30 @@ def _cmd_opt(args) -> int:
     return 0
 
 
+def _batch_backend(args, jobs):
+    """The compile backend selected by ``--backend``/``--workers``."""
+    from repro.service import ProcessCompileBackend, ThreadCompileBackend
+
+    if args.backend == "process":
+        # Warm exactly the targets the batch names; the spool directory
+        # ships their pre-built tables to every worker.
+        targets = sorted(
+            {
+                str(job.get("target"))
+                for job in jobs
+                if isinstance(job, dict) and job.get("target")
+            }
+        )
+        return ProcessCompileBackend(
+            workers=args.jobs,
+            warm_targets=targets,
+            cache_dir=getattr(args, "cache_dir", None) or None,
+        )
+    return ThreadCompileBackend(workers=args.jobs, cache=_cache_from_args(args))
+
+
 def _cmd_batch(args) -> int:
     """Run a JSON-lines job file through the concurrent compile service."""
-    from repro.service import CompileService, SessionPool
-    from repro.toolchain import Toolchain
-
     if args.jobs_file == "-":
         lines = sys.stdin.read().splitlines()
     else:
@@ -264,9 +286,12 @@ def _cmd_batch(args) -> int:
             # Keep the batch alive: a malformed line becomes a job dict the
             # service will turn into a structured error response.
             jobs.append({"_malformed": "line %d: %s" % (number, error)})
-    pool = SessionPool(toolchain=Toolchain(cache=_cache_from_args(args)))
-    service = CompileService(pool=pool, max_workers=args.jobs)
-    responses = service.run_batch_dicts(jobs)
+    backend = _batch_backend(args, jobs)
+    try:
+        responses = backend.run_jobs(jobs)
+    finally:
+        stats = backend.stats()
+        backend.close()
     output = sys.stdout
     close_output = False
     if args.output and args.output != "-":
@@ -277,15 +302,60 @@ def _cmd_batch(args) -> int:
         close_output = True
     try:
         for response in responses:
-            output.write(
-                response.to_json(include_result=not args.no_results) + "\n"
-            )
+            if args.no_results:
+                response = {k: v for k, v in response.items() if k != "result"}
+            output.write(json.dumps(response) + "\n")
     finally:
         if close_output:
             output.close()
     if args.stats:
-        print(json.dumps(service.stats(), indent=2), file=sys.stderr)
-    return 0 if all(response.ok for response in responses) else 1
+        print(json.dumps(stats, indent=2), file=sys.stderr)
+    return 0 if all(response.get("ok") for response in responses) else 1
+
+
+def _cmd_serve(args) -> int:
+    """Run the HTTP/JSON compile server until interrupted."""
+    from repro.server import make_server
+    from repro.service import BackendError, create_backend, default_process_workers
+
+    backend_kwargs: dict = {}
+    if args.backend == "process":
+        backend_kwargs["cache_dir"] = getattr(args, "cache_dir", None) or None
+        if args.prewarm:
+            backend_kwargs["warm_targets"] = [
+                name.strip() for name in args.prewarm.split(",") if name.strip()
+            ]
+        if args.timeout is not None:
+            backend_kwargs["request_timeout_s"] = args.timeout
+    else:
+        backend_kwargs["cache"] = _cache_from_args(args)
+    try:
+        backend = create_backend(args.backend, workers=args.workers, **backend_kwargs)
+    except BackendError as error:
+        raise SystemExit("error: %s" % error_report(error))
+    server = make_server(
+        host=args.host,
+        port=args.port,
+        backend=backend,
+        queue_limit=args.queue_limit,
+        max_body_bytes=args.max_body,
+        verbose=args.verbose,
+    )
+    workers = args.workers or (
+        default_process_workers() if args.backend == "process" else backend.workers
+    )
+    print(
+        "serving on %s (backend=%s, workers=%d, queue limit=%d)"
+        % (server.url, args.backend, workers, server.gate.capacity)
+    )
+    print("endpoints: POST /compile, POST /batch, GET /healthz, GET /metrics")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+    finally:
+        server.close()
+    return 0
 
 
 def _cmd_cache(args) -> int:
@@ -436,8 +506,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     batch_parser.add_argument("jobs_file", help="JSON-lines job file ('-' for stdin)")
     batch_parser.add_argument(
-        "--jobs", "-j", type=int, default=None, metavar="N",
-        help="worker threads (default: min(batch size, 8))",
+        "--backend", choices=("thread", "process"), default="thread",
+        help="execution backend: 'thread' shares one process (fast startup, "
+        "single core); 'process' runs a worker-process pool warmed from a "
+        "shared retarget-cache spool (scales with cores)",
+    )
+    batch_parser.add_argument(
+        "--jobs", "-j", "--workers", dest="jobs", type=int, default=None,
+        metavar="N",
+        help="worker count (default: min(batch size, 8) threads, or one "
+        "process per CPU core with --backend process)",
     )
     batch_parser.add_argument(
         "--output", "-o", metavar="FILE",
@@ -452,6 +530,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="print service/pool statistics to stderr after the batch",
     )
     _add_cache_flags(batch_parser)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the HTTP/JSON compile server",
+        description="Serves POST /compile (one job object in, one "
+        "response envelope out), POST /batch (JSON array, {\"jobs\": [...]} "
+        "or NDJSON in; streaming NDJSON out), GET /healthz and GET /metrics "
+        "(Prometheus text). Saturation yields HTTP 429 with Retry-After; "
+        "malformed bodies yield structured JSON errors. The process backend "
+        "spreads compiles across CPU cores.",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8357, help="TCP port (default: 8357; 0 = ephemeral)")
+    serve_parser.add_argument(
+        "--backend", choices=("thread", "process"), default="process",
+        help="compile backend (default: process -- one worker per core)",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count (default: os.cpu_count() processes, or 8 threads)",
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=None, metavar="N",
+        help="max in-flight jobs before requests get 429 (default: 4 x workers)",
+    )
+    serve_parser.add_argument(
+        "--max-body", type=int, default=1 << 20, metavar="BYTES",
+        help="request-body size limit (default: 1 MiB; larger bodies get 413)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-request timeout for the process backend (a stuck worker is "
+        "killed and respawned; default: 60)",
+    )
+    serve_parser.add_argument(
+        "--prewarm", metavar="LIST", default="all",
+        help="comma-separated targets to prewarm into workers (default: all "
+        "built-ins; process backend only)",
+    )
+    serve_parser.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request to stderr",
+    )
+    _add_cache_flags(serve_parser)
 
     cache_parser = subparsers.add_parser("cache", help="inspect or clear the retarget cache")
     cache_parser.add_argument("--clear", action="store_true", help="remove every cached retarget result")
@@ -483,6 +604,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_opt(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "table3":

@@ -14,7 +14,13 @@ traffic-serving surface:
   paid once per distinct key, not once per request;
 * :class:`CompileService` (:mod:`repro.service.service`) -- concurrent,
   fault-isolated batch execution on a thread pool.  A failing request
-  yields an error response; it never kills the batch.
+  yields an error response; it never kills the batch;
+* :class:`CompileBackend` / :class:`ThreadCompileBackend` /
+  :class:`ProcessCompileBackend` (:mod:`repro.service.backends`) -- the
+  execution substrate behind the HTTP server and ``repro batch``.  The
+  process backend runs a pool of worker processes warmed from a shared
+  read-only retarget-cache spool (true multi-core scaling), with crash
+  detection, respawn and per-request timeouts.
 
 Typical usage::
 
@@ -30,13 +36,29 @@ Typical usage::
 """
 
 from repro.service.api import CompileRequest, CompileResponse, ErrorInfo
+from repro.service.backends import (
+    BACKEND_KINDS,
+    BackendError,
+    CompileBackend,
+    ProcessCompileBackend,
+    ThreadCompileBackend,
+    create_backend,
+    default_process_workers,
+)
 from repro.service.pool import SessionPool
 from repro.service.service import CompileService
 
 __all__ = [
+    "BACKEND_KINDS",
+    "BackendError",
+    "CompileBackend",
     "CompileRequest",
     "CompileResponse",
     "CompileService",
     "ErrorInfo",
+    "ProcessCompileBackend",
     "SessionPool",
+    "ThreadCompileBackend",
+    "create_backend",
+    "default_process_workers",
 ]

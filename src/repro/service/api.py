@@ -62,7 +62,11 @@ class CompileRequest:
     ``verify`` likewise overrides the static-verifier knob
     (``"verify": true`` runs the pipeline verifier for that job).
     ``request_id`` is echoed back in the response so callers can
-    correlate out-of-order streams.
+    correlate out-of-order streams.  ``timeout_s`` bounds the wall-clock
+    service time of this request: the process backend kills and respawns
+    the worker when it expires (a structured timeout error response, the
+    worker slot survives); the thread backend cannot preempt a running
+    compile and ignores it.
     """
 
     target: str
@@ -75,6 +79,7 @@ class CompileRequest:
     verify: Optional[bool] = None
     binding_overrides: Dict[str, str] = field(default_factory=dict)
     request_id: Optional[str] = None
+    timeout_s: Optional[float] = None
 
     def validate(self) -> None:
         if not self.target:
@@ -86,6 +91,13 @@ class CompileRequest:
             )
         if self.preset is not None and self.config is not None:
             raise RequestError("pass either preset= or config=, not both")
+        if self.timeout_s is not None:
+            if not isinstance(self.timeout_s, (int, float)) or isinstance(
+                self.timeout_s, bool
+            ):
+                raise RequestError('"timeout_s" must be a number')
+            if self.timeout_s <= 0:
+                raise RequestError('"timeout_s" must be positive')
 
     def resolved_config(self) -> PipelineConfig:
         """The pipeline config this request asks for (presets resolved,
@@ -129,6 +141,8 @@ class CompileRequest:
             data["binding_overrides"] = dict(self.binding_overrides)
         if self.request_id is not None:
             data["request_id"] = self.request_id
+        if self.timeout_s is not None:
+            data["timeout_s"] = self.timeout_s
         return data
 
     @classmethod
@@ -151,6 +165,7 @@ class CompileRequest:
             "verify",
             "binding_overrides",
             "request_id",
+            "timeout_s",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -175,6 +190,7 @@ class CompileRequest:
             verify=verify,
             binding_overrides=dict(data.get("binding_overrides") or {}),
             request_id=data.get("request_id"),
+            timeout_s=data.get("timeout_s"),
         )
         request.validate()
         return request

@@ -20,7 +20,11 @@ from typing import Iterable, List, Optional
 from repro.service.api import CompileRequest, CompileResponse, ErrorInfo
 from repro.service.pool import SessionPool
 
-#: Upper bound on worker threads when the caller does not pin one.
+#: Upper bound on worker *threads* when the caller does not pin one.
+#: Threads mostly overlap session construction and lock waits (the
+#: compile itself is GIL-bound), so this stays a small constant; the
+#: process backend (repro.service.backends) derives its default worker
+#: count from ``os.cpu_count()`` instead.
 DEFAULT_MAX_WORKERS = 8
 
 
@@ -34,9 +38,31 @@ class CompileService:
     ):
         self.pool = pool if pool is not None else SessionPool()
         self.max_workers = max_workers
-        self.completed = 0
-        self.failed = 0
+        self._completed = 0
+        self._failed = 0
+        self._per_target: dict = {}
         self._counter_lock = threading.Lock()
+
+    def _record(self, target: str, ok: bool) -> None:
+        with self._counter_lock:
+            if ok:
+                self._completed += 1
+            else:
+                self._failed += 1
+            counts = self._per_target.setdefault(
+                target or "", {"completed": 0, "failed": 0}
+            )
+            counts["completed" if ok else "failed"] += 1
+
+    @property
+    def completed(self) -> int:
+        with self._counter_lock:
+            return self._completed
+
+    @property
+    def failed(self) -> int:
+        with self._counter_lock:
+            return self._failed
 
     # -- single requests ---------------------------------------------------------
 
@@ -67,13 +93,11 @@ class CompileService:
                 request_id=request.request_id,
                 elapsed_s=time.perf_counter() - started,
             )
-            with self._counter_lock:
-                self.completed += 1
+            self._record(request.target, ok=True)
             return response
         except Exception as error:  # fault isolation: one bad request,
-            with self._counter_lock:  # one error response, never a dead batch
-                self.failed += 1
-            return CompileResponse(
+            self._record(request.target, ok=False)  # one error response,
+            return CompileResponse(  # never a dead batch
                 target=request.target,
                 name=name or request.display_name(index),
                 ok=False,
@@ -170,6 +194,21 @@ class CompileService:
     # -- introspection -----------------------------------------------------------
 
     def stats(self) -> dict:
-        stats = {"completed": self.completed, "failed": self.failed}
+        """A thread-safe point-in-time snapshot of the service counters.
+
+        ``completed``/``failed`` are totals; ``per_target`` maps each
+        target name seen so far to its own completed/failed counts (what
+        the HTTP ``/metrics`` endpoint exports per-target).  Pool
+        statistics are merged in under ``pool_*`` keys.
+        """
+        with self._counter_lock:
+            stats: dict = {
+                "completed": self._completed,
+                "failed": self._failed,
+                "per_target": {
+                    target: dict(counts)
+                    for target, counts in self._per_target.items()
+                },
+            }
         stats.update({"pool_%s" % k: v for k, v in self.pool.stats().items()})
         return stats

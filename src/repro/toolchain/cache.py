@@ -192,6 +192,22 @@ class RetargetCache:
         self.put(key, result)
         return result, False
 
+    def prewarm(self, hdl_sources, generate_matcher: bool = False) -> list:
+        """Retarget-and-store several HDL sources; returns their cache keys.
+
+        This is the shipping path of the process compile backend: the
+        parent prewarms a *disk-tier* cache once, worker processes open
+        the same directory read-only and hit the v2 pickles instead of
+        re-retargeting.  The matcher module is skipped by default (it is
+        never pickled; workers regenerate it from the cached grammar on
+        their first hit, which is ~100x cheaper than a retarget).
+        """
+        keys = []
+        for hdl_source in hdl_sources:
+            self.get_or_retarget(hdl_source, generate_matcher=generate_matcher)
+            keys.append(retarget_fingerprint(hdl_source))
+        return keys
+
     # -- maintenance -------------------------------------------------------------
 
     def clear(self, disk: bool = True) -> int:

@@ -114,6 +114,18 @@ class TestRequests:
                 {"target": "demo", "kernel": "fir", "opt": "no"}
             )
 
+    def test_timeout_field_round_trips(self):
+        request = CompileRequest(target="demo", kernel="fir", timeout_s=2.5)
+        data = request.to_dict()
+        assert data["timeout_s"] == 2.5
+        assert CompileRequest.from_dict(data) == request
+        assert "timeout_s" not in CompileRequest(target="demo", kernel="fir").to_dict()
+
+    def test_timeout_field_must_be_a_positive_number(self):
+        for bad in ("soon", True, 0, -1.0):
+            with pytest.raises(RequestError):
+                CompileRequest(target="demo", kernel="fir", timeout_s=bad).validate()
+
 
 class TestSessionPool:
     def test_sessions_are_reused_per_key(self):
@@ -318,6 +330,28 @@ class TestCompileService:
         service.run_batch([CompileRequest(target="demo", kernel="fir")])
         service.run_batch([CompileRequest(target="demo", kernel="dot_product")])
         assert pool.retarget_count == 1
+
+    def test_stats_breaks_counts_down_per_target(self):
+        service = CompileService()
+        service.run_batch(_mixed_batch())
+        stats = service.stats()
+        per_target = stats["per_target"]
+        assert set(per_target) == {"demo", "ref", "tms320c25"}
+        assert per_target["demo"]["failed"] == 1  # r5, the broken source
+        assert sum(c["completed"] for c in per_target.values()) == stats["completed"]
+        assert sum(c["failed"] for c in per_target.values()) == stats["failed"]
+
+    def test_stats_returns_an_independent_snapshot(self):
+        service = CompileService()
+        service.run_batch([CompileRequest(target="demo", kernel="fir")])
+        snapshot = service.stats()
+        snapshot["completed"] = 999
+        snapshot["per_target"]["demo"]["completed"] = 999
+        fresh = service.stats()
+        assert fresh["completed"] == 1
+        assert fresh["per_target"]["demo"]["completed"] == 1
+        # counters also stay readable directly
+        assert service.completed == 1 and service.failed == 0
 
 
 class TestBatchCli:
