@@ -52,7 +52,15 @@ experiments:
   kernels, the experiment baselines and the RT-level simulator.
 """
 
-from repro.diagnostics import Diagnostic, ReproError, SourceLocation, TargetError
+from repro.diagnostics import (
+    Diagnostic,
+    InternalCompilerError,
+    KernelError,
+    ReproError,
+    ResourceLimitError,
+    SourceLocation,
+    TargetError,
+)
 from repro.record.compiler import CompiledProgram, CompilerOptions, RecordCompiler
 from repro.record.retarget import RetargetResult, retarget
 from repro.targets.library import all_target_names, get_target, target_hdl_source
@@ -87,11 +95,14 @@ __all__ = [
     "CompiledProgram",
     "CompilerOptions",
     "Diagnostic",
+    "InternalCompilerError",
+    "KernelError",
     "OptPipeline",
     "OptStats",
     "PipelineConfig",
     "RecordCompiler",
     "ReproError",
+    "ResourceLimitError",
     "RetargetCache",
     "RetargetResult",
     "Session",

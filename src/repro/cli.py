@@ -17,6 +17,8 @@ Usage (also available as ``python -m repro ...``)::
     python -m repro compile tms320c25 --kernel fir_loop  # loop kernel -> labelled CFG
     python -m repro opt prog.c                   # IR optimizer before/after
     python -m repro opt --kernel fir --stages fold,cse
+    python -m repro fuzz                         # differential fuzz campaign
+    python -m repro fuzz --seed 7 --budget 500 --targets ref --oracle sim,opt
     python -m repro batch jobs.jsonl             # concurrent batch service
     python -m repro batch - --jobs 4 < jobs.jsonl
     python -m repro batch jobs.jsonl --backend process --workers 4
@@ -44,7 +46,7 @@ import sys
 from typing import List, Optional
 
 from repro.baselines import hand_reference_size, has_hand_reference_size
-from repro.diagnostics import ReproError, error_report
+from repro.diagnostics import InternalCompilerError, ReproError, error_report
 from repro.dspstone import all_kernel_names, get_kernel, kernel_program, loop_kernel_names
 from repro.grammar import grammar_to_bnf
 from repro.record.report import (
@@ -169,6 +171,8 @@ def _cmd_compile(args) -> int:
         raise SystemExit("error: provide a source file or --kernel NAME")
     try:
         compiled = session.compile(source, name=name)
+    except InternalCompilerError:
+        raise  # the top-level boundary turns this into exit code 70
     except ReproError as error:
         raise SystemExit("error: %s" % error_report(error))
     if args.json:
@@ -356,6 +360,54 @@ def _cmd_serve(args) -> int:
     finally:
         server.close()
     return 0
+
+
+def _cmd_fuzz(args) -> int:
+    """Run a differential fuzzing campaign (see :mod:`repro.fuzz`)."""
+    from repro.fuzz import run_campaign, save_finding
+
+    targets = None
+    if args.targets:
+        targets = [name.strip() for name in args.targets.split(",") if name.strip()]
+    oracles = None
+    if args.oracle:
+        oracles = [name.strip() for name in args.oracle.split(",") if name.strip()]
+
+    def progress(done: int, budget: int) -> None:
+        if done % 25 == 0 or done == budget:
+            print("fuzz: %d/%d programs" % (done, budget), file=sys.stderr)
+
+    try:
+        report = run_campaign(
+            seed=args.seed,
+            budget=args.budget,
+            targets=targets,
+            oracles=oracles,
+            minimize=not args.no_minimize,
+            toolchain=Toolchain(cache=_cache_from_args(args)),
+            verify=True if args.verify else None,
+            max_findings=args.max_findings,
+            progress=progress if not args.json else None,
+        )
+    except ValueError as error:
+        raise SystemExit("error: %s" % error)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0 if report.ok else 1
+    print(report.summary())
+    for finding in report.findings:
+        print()
+        print("%s [%s oracle, target %s, seed %d, hash %s]" % (
+            finding.kind, finding.oracle, finding.target,
+            finding.seed, finding.hash))
+        print("  detail: %s" % finding.detail)
+        print("  reproducer:")
+        for line in finding.reproducer.splitlines():
+            print("    " + line)
+        if args.promote:
+            path = save_finding(finding, args.promote)
+            print("  promoted to %s" % path)
+    return 0 if report.ok else 1
 
 
 def _cmd_cache(args) -> int:
@@ -574,6 +626,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_cache_flags(serve_parser)
 
+    fuzz_parser = subparsers.add_parser(
+        "fuzz",
+        help="run a differential fuzzing campaign over generated programs",
+        description="Generates seeded structured programs (nested control "
+        "flow, arrays, fold/CSE-shaped expressions) and cross-checks, per "
+        "program and target: storage-faithful RT simulation against "
+        "reference execution ('sim'), the optimized pipeline against "
+        "--no-opt ('opt'), and the table-driven BURS matcher against the "
+        "interpretive matcher ('matcher').  Divergences and crashes are "
+        "delta-debugged to minimal reproducers; exit status is 1 when any "
+        "finding survives.",
+    )
+    fuzz_parser.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="campaign seed; every program derives deterministically from it "
+        "(default: 0)",
+    )
+    fuzz_parser.add_argument(
+        "--budget", type=int, default=200, metavar="N",
+        help="number of generated programs (default: 200)",
+    )
+    fuzz_parser.add_argument(
+        "--targets", metavar="LIST",
+        help="comma-separated targets (default: %s)" % ",".join(
+            ("demo", "ref", "tms320c25")),
+    )
+    fuzz_parser.add_argument(
+        "--oracle", metavar="LIST",
+        help="comma-separated oracle subset: sim, opt, matcher (default: all)",
+    )
+    fuzz_parser.add_argument(
+        "--no-minimize", action="store_true",
+        help="report raw findings without delta-debugging them",
+    )
+    fuzz_parser.add_argument(
+        "--verify", action="store_true",
+        help="run the static pipeline verifier inside every compile leg",
+    )
+    fuzz_parser.add_argument(
+        "--max-findings", type=int, default=25, metavar="N",
+        help="stop the campaign after N findings (default: 25)",
+    )
+    fuzz_parser.add_argument(
+        "--promote", metavar="DIR",
+        help="save each minimized finding as a corpus entry under DIR "
+        "(e.g. tests/corpus)",
+    )
+    fuzz_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full campaign report as JSON instead of text",
+    )
+    _add_cache_flags(fuzz_parser)
+
     cache_parser = subparsers.add_parser("cache", help="inspect or clear the retarget cache")
     cache_parser.add_argument("--clear", action="store_true", help="remove every cached retarget result")
     _add_cache_flags(cache_parser)
@@ -590,6 +695,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command is None:
         parser.print_help()
         return 1
+    try:
+        return _dispatch(parser, args)
+    except (SystemExit, KeyboardInterrupt):
+        raise
+    except InternalCompilerError as error:
+        # Crash-proofing contract: a compiler bug (wrapped at the pass
+        # boundary) exits EX_SOFTWARE with a structured diagnostic.
+        print("error: %s" % error_report(error), file=sys.stderr)
+        return 70
+    except ReproError as error:
+        # Structured errors that escaped a subcommand's own handling
+        # still print as one diagnostic line, never a traceback.
+        print("error: %s" % error_report(error), file=sys.stderr)
+        return 1
+    except Exception as error:
+        # Crash-proofing contract: an internal bug exits non-zero with
+        # an InternalCompilerError diagnostic -- a raw traceback never
+        # reaches stdout/stderr (EX_SOFTWARE for scripting callers).
+        wrapped = InternalCompilerError.wrap(
+            error, context="repro %s" % args.command
+        )
+        print("error: %s" % error_report(wrapped), file=sys.stderr)
+        return 70
+
+
+def _dispatch(parser: argparse.ArgumentParser, args) -> int:
     if args.command == "targets":
         return _cmd_targets(args)
     if args.command == "kernels":
@@ -602,6 +733,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_compile(args)
     if args.command == "opt":
         return _cmd_opt(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "batch":
         return _cmd_batch(args)
     if args.command == "serve":

@@ -14,10 +14,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.diagnostics import ReproError
+from repro.diagnostics import ReproError, ResourceLimitError
 from repro.grammar.grammar import RuleKind, storage_of_nonterminal
 from repro.ir.binding import ResourceBinding
-from repro.ir.expr import ArrayRef, Const, IRNode, Op, PortInput, VarRef
+from repro.ir.expr import ArrayRef, Const, IRNode, Op, PortInput, VarRef, expr_size
 from repro.ir.program import BasicBlock, CBranch, Jump, Statement, Terminator
 from repro.selector.burs import CodeSelector, Reduction, SelectionError
 from repro.selector.subject import SubjectNode
@@ -328,10 +328,26 @@ def _legalized_constant_store(statement: Statement) -> Optional[Statement]:
     )
 
 
+#: Ceiling on the IR node count of one statement's expression before it
+#: is handed to the BURS labeller.  The frontend already caps source
+#: expressions, but programs built through the IR API bypass it; the
+#: labeller's state tables are quadratic-ish in pathological shapes, so
+#: a runaway tree must fail structurally, not by exhausting memory.
+#: Sized above the deep-chain differential suite (~5k-node trees),
+#: which must keep compiling.
+MAX_SUBJECT_NODES = 10_000
+
+
 def select_statement(
     statement: Statement, selector: CodeSelector, binding: ResourceBinding
 ) -> StatementCode:
     """Optimal RT cover of one statement."""
+    nodes = expr_size(statement.expression)
+    if nodes > MAX_SUBJECT_NODES:
+        raise ResourceLimitError(
+            "statement expression has %d IR nodes (selector limit %d)"
+            % (nodes, MAX_SUBJECT_NODES)
+        )
     subject = build_subject_tree(statement, binding)
     try:
         result = selector.select(subject)

@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.diagnostics import KernelError
 from repro.frontend.lowering import lower_to_program
 from repro.ir.program import Program
 
@@ -368,7 +369,7 @@ def get_kernel(name: str) -> Kernel:
     try:
         return _KERNELS[name]
     except KeyError:
-        raise KeyError(
+        raise KernelError(
             "unknown kernel %r; available: %s"
             % (name, ", ".join(FIGURE2_ORDER + LOOP_KERNELS))
         )

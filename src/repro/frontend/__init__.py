@@ -24,14 +24,17 @@ from repro.frontend.ast import (
     VarDecl,
     WhileStatement,
 )
-from repro.frontend.lexer import SourceSyntaxError, tokenize_source
-from repro.frontend.parser import parse_source
+from repro.frontend.lexer import MAX_SOURCE_BYTES, SourceSyntaxError, tokenize_source
+from repro.frontend.parser import DEFAULT_LIMITS, FrontendLimits, parse_source
 from repro.frontend.lowering import LoweringError, lower_source, lower_to_program
 
 __all__ = [
     "ArrayDecl",
     "Assignment",
+    "DEFAULT_LIMITS",
+    "FrontendLimits",
     "IfStatement",
+    "MAX_SOURCE_BYTES",
     "WhileStatement",
     "LoweringError",
     "SourceBinary",

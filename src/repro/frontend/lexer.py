@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.diagnostics import ReproError, SourceLocation
+from repro.diagnostics import ReproError, ResourceLimitError, SourceLocation
 
 
 class SourceSyntaxError(ReproError):
@@ -16,6 +16,12 @@ class SourceSyntaxError(ReproError):
     def __init__(self, message: str, line: int = 0):
         super().__init__(message, location=SourceLocation(line=line))
         self.line = line
+
+
+#: Source texts larger than this are rejected up front with a structured
+#: :class:`ResourceLimitError` -- a pathological megabyte of ``a+a+a...``
+#: must not reach the parser, let alone the recursive lowering walk.
+MAX_SOURCE_BYTES = 1 << 20
 
 
 _KEYWORDS = {"int", "if", "else", "while", "do"}
@@ -33,8 +39,13 @@ class SourceToken:
     line: int
 
 
-def tokenize_source(text: str) -> List[SourceToken]:
+def tokenize_source(text: str, max_bytes: int = MAX_SOURCE_BYTES) -> List[SourceToken]:
     """Tokenize source text; ``//`` and ``/* ... */`` comments are skipped."""
+    if max_bytes and len(text) > max_bytes:
+        raise ResourceLimitError(
+            "source program too large: %d characters (limit %d)"
+            % (len(text), max_bytes)
+        )
     tokens: List[SourceToken] = []
     index = 0
     line = 1

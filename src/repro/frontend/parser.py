@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.diagnostics import ResourceLimitError, SourceLocation
 from repro.frontend.ast import (
     ArrayDecl,
     Assignment,
@@ -30,10 +32,75 @@ _BINARY_LEVELS = [
 ]
 
 
+@dataclass(frozen=True)
+class FrontendLimits:
+    """Resource ceilings on source programs.
+
+    Downstream walks -- lowering, constant evaluation -- recurse over the
+    AST, so unbounded nesting or expression size turns into
+    ``RecursionError``/``MemoryError`` deep inside the pipeline.  The
+    parser enforces these ceilings up front and raises a structured
+    :class:`ResourceLimitError` instead.
+
+    ``max_expr_depth`` bounds *syntactic* nesting (parentheses, unary
+    chains, ``!``), which is also the parser's own recursion depth;
+    ``max_expr_nodes`` bounds the node count of any one statement's
+    expressions, which is what the (left-spine-recursive) lowering walk
+    sees even for flat ``a+a+a...`` chains; ``max_block_depth`` bounds
+    ``if``/``while`` body nesting; ``max_statements`` bounds total
+    program size.  Set a field to 0 to disable that ceiling.
+    """
+
+    max_expr_depth: int = 64
+    max_expr_nodes: int = 512
+    max_block_depth: int = 32
+    max_statements: int = 4096
+
+
+DEFAULT_LIMITS = FrontendLimits()
+
+
 class _SourceParser:
-    def __init__(self, tokens: List[SourceToken]):
+    def __init__(self, tokens: List[SourceToken], limits: FrontendLimits = DEFAULT_LIMITS):
         self._tokens = tokens
         self._position = 0
+        self._limits = limits
+        self._expr_depth = 0
+        self._expr_nodes = 0
+        self._block_depth = 0
+        self._statements = 0
+
+    def _limit_error(self, message: str) -> ResourceLimitError:
+        return ResourceLimitError(
+            message, location=SourceLocation(line=self._peek().line)
+        )
+
+    def _enter_expr(self) -> None:
+        self._expr_depth += 1
+        limit = self._limits.max_expr_depth
+        if limit and self._expr_depth > limit:
+            raise self._limit_error(
+                "expression nesting exceeds %d levels" % limit
+            )
+
+    def _leave_expr(self) -> None:
+        self._expr_depth -= 1
+
+    def _bump_nodes(self, count: int = 1) -> None:
+        self._expr_nodes += count
+        limit = self._limits.max_expr_nodes
+        if limit and self._expr_nodes > limit:
+            raise self._limit_error(
+                "expression of statement exceeds %d nodes" % limit
+            )
+
+    def _bump_statement(self) -> None:
+        self._statements += 1
+        limit = self._limits.max_statements
+        if limit and self._statements > limit:
+            raise self._limit_error(
+                "program exceeds %d statements" % limit
+            )
 
     def _peek(self) -> SourceToken:
         return self._tokens[self._position]
@@ -78,6 +145,8 @@ class _SourceParser:
         return program
 
     def _parse_statement(self):
+        self._bump_statement()
+        self._expr_nodes = 0
         token = self._peek()
         if token.kind == "keyword":
             if token.text == "if":
@@ -91,17 +160,24 @@ class _SourceParser:
 
     def _parse_body(self) -> list:
         """``{ statement* }`` or one bare statement."""
-        token = self._peek()
-        if token.kind == "symbol" and token.text == "{":
-            self._advance()
-            body = []
-            while not (self._peek().kind == "symbol" and self._peek().text == "}"):
-                if self._peek().kind == "eof":
-                    raise self._error("unterminated block, expected '}'")
-                body.append(self._parse_statement())
-            self._advance()  # '}'
-            return body
-        return [self._parse_statement()]
+        self._block_depth += 1
+        limit = self._limits.max_block_depth
+        if limit and self._block_depth > limit:
+            raise self._limit_error("block nesting exceeds %d levels" % limit)
+        try:
+            token = self._peek()
+            if token.kind == "symbol" and token.text == "{":
+                self._advance()
+                body = []
+                while not (self._peek().kind == "symbol" and self._peek().text == "}"):
+                    if self._peek().kind == "eof":
+                        raise self._error("unterminated block, expected '}'")
+                    body.append(self._parse_statement())
+                self._advance()  # '}'
+                return body
+            return [self._parse_statement()]
+        finally:
+            self._block_depth -= 1
 
     def _parse_if(self) -> IfStatement:
         self._advance()  # 'if'
@@ -153,6 +229,7 @@ class _SourceParser:
         while self._peek().kind == "symbol" and self._peek().text == "||":
             self._advance()
             right = self._parse_condition_and()
+            self._bump_nodes()
             left = SourceBinary(operator="||", left=left, right=right)
         return left
 
@@ -161,6 +238,7 @@ class _SourceParser:
         while self._peek().kind == "symbol" and self._peek().text == "&&":
             self._advance()
             right = self._parse_condition_not()
+            self._bump_nodes()
             left = SourceBinary(operator="&&", left=left, right=right)
         return left
 
@@ -168,7 +246,12 @@ class _SourceParser:
         token = self._peek()
         if token.kind == "symbol" and token.text == "!":
             self._advance()
-            return SourceUnary(operator="!", operand=self._parse_condition_not())
+            self._bump_nodes()
+            self._enter_expr()
+            try:
+                return SourceUnary(operator="!", operand=self._parse_condition_not())
+            finally:
+                self._leave_expr()
         if token.kind == "symbol" and token.text == "(":
             # "(" is ambiguous: "(a < b) && c" parenthesizes a condition,
             # "(a + b) < c" an arithmetic subexpression.  Try the condition
@@ -176,12 +259,15 @@ class _SourceParser:
             # parentheses belonged to an expression.
             position = self._position
             self._advance()
+            self._enter_expr()
             try:
                 condition = self._parse_condition()
                 self._expect_symbol(")")
             except SourceSyntaxError:
                 self._position = position
                 return self._parse_relation()
+            finally:
+                self._leave_expr()
             following = self._peek()
             if following.kind == "symbol" and following.text not in (")", "&&", "||"):
                 self._position = position
@@ -195,6 +281,7 @@ class _SourceParser:
         if token.kind == "symbol" and token.text in self._RELOPS:
             operator = self._advance().text
             right = self._parse_expression()
+            self._bump_nodes()
             return SourceBinary(operator=operator, left=left, right=right)
         return left
 
@@ -236,6 +323,7 @@ class _SourceParser:
         while self._peek().kind == "symbol" and self._peek().text in operators:
             operator = self._advance().text
             right = self._parse_expression(level + 1)
+            self._bump_nodes()
             left = SourceBinary(operator=operator, left=left, right=right)
         return left
 
@@ -243,21 +331,32 @@ class _SourceParser:
         token = self._peek()
         if token.kind == "symbol" and token.text in ("-", "~"):
             self._advance()
-            return SourceUnary(operator=token.text, operand=self._parse_unary())
+            self._bump_nodes()
+            self._enter_expr()
+            try:
+                return SourceUnary(operator=token.text, operand=self._parse_unary())
+            finally:
+                self._leave_expr()
         return self._parse_primary()
 
     def _parse_primary(self) -> SourceExpr:
         token = self._peek()
         if token.kind == "number":
             self._advance()
+            self._bump_nodes()
             return SourceConst(value=int(token.text, 0))
         if token.kind == "symbol" and token.text == "(":
             self._advance()
-            expression = self._parse_expression()
+            self._enter_expr()
+            try:
+                expression = self._parse_expression()
+            finally:
+                self._leave_expr()
             self._expect_symbol(")")
             return expression
         if token.kind == "ident":
             name = self._advance().text
+            self._bump_nodes()
             if self._peek().kind == "symbol" and self._peek().text == "[":
                 self._advance()
                 index = self._parse_expression()
@@ -267,6 +366,15 @@ class _SourceParser:
         raise self._error("unexpected token %r in expression" % token.text)
 
 
-def parse_source(text: str, name: str = "program") -> SourceProgram:
-    """Parse a source program into its AST."""
-    return _SourceParser(tokenize_source(text)).parse_program(name)
+def parse_source(
+    text: str,
+    name: str = "program",
+    limits: FrontendLimits = DEFAULT_LIMITS,
+) -> SourceProgram:
+    """Parse a source program into its AST.
+
+    ``limits`` caps nesting depth, per-statement expression size, block
+    nesting and statement count; violations raise a structured
+    :class:`ResourceLimitError` instead of exhausting the interpreter.
+    """
+    return _SourceParser(tokenize_source(text), limits).parse_program(name)

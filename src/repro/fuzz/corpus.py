@@ -1,0 +1,51 @@
+"""The regression corpus: minimized findings, frozen as JSON files.
+
+A corpus entry is one :class:`~repro.fuzz.campaign.Finding` serialized
+to a single JSON file whose name encodes kind, oracle, target and the
+content hash -- stable, human-diffable, and trivially replayed by a
+parametrized test (``tests/test_corpus_replay.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.fuzz.campaign import Finding
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS_DIR = "tests/corpus"
+
+
+def entry_name(finding: Finding) -> str:
+    target = "any" if finding.target == "*" else finding.target
+    return "%s-%s-%s-%s.json" % (
+        finding.kind, finding.oracle, target, finding.hash
+    )
+
+
+def save_finding(finding: Finding, directory: Union[str, Path]) -> Path:
+    """Write one finding into the corpus; returns the file path.
+    Idempotent: the same finding (same content hash and coordinates)
+    always lands in the same file."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / entry_name(finding)
+    payload = json.dumps(finding.to_dict(), indent=2, sort_keys=True)
+    path.write_text(payload + "\n", encoding="utf-8")
+    return path
+
+
+def load_corpus(directory: Union[str, Path]) -> List[Finding]:
+    """Every finding stored under ``directory``, sorted by file name
+    (missing directory -> empty corpus, so fresh checkouts replay
+    cleanly)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    findings = []
+    for path in sorted(directory.glob("*.json")):
+        data = json.loads(path.read_text(encoding="utf-8"))
+        findings.append(Finding.from_dict(data))
+    return findings

@@ -1,0 +1,241 @@
+"""Delta-debugging minimizer: shrink a failing program to a reproducer.
+
+Works at the *source AST* level (parse, transform, render), so every
+candidate is a syntactically valid program and the predicate only ever
+sees inputs the pipeline accepts.  Three reduction families run to a
+fixpoint under one shared evaluation budget:
+
+1. **ddmin** (Zeller/Hildebrandt) over every statement list -- the top
+   level and each nested body -- removing whole chunks of statements;
+2. **structure unwrapping** -- replace an ``if``/``while`` by its body,
+   drop an ``else`` branch;
+3. **expression shrinking** -- replace an assignment's expression (or a
+   condition) by one of its operands or by a constant.
+
+The predicate receives rendered source text and must return True when
+the candidate still reproduces the original failure.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, List, Sequence
+
+from repro.frontend.ast import (
+    Assignment,
+    IfStatement,
+    SourceBinary,
+    SourceConst,
+    SourceProgram,
+    SourceUnary,
+    WhileStatement,
+)
+from repro.frontend.parser import parse_source
+from repro.fuzz.generator import render_source
+
+#: Default cap on predicate evaluations across the whole minimization.
+DEFAULT_EVAL_BUDGET = 400
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> bool:
+        """True while evaluations remain."""
+        if self.used >= self.limit:
+            return False
+        self.used += 1
+        return True
+
+
+def ddmin(
+    items: Sequence,
+    predicate: Callable[[List], bool],
+    budget: int = DEFAULT_EVAL_BUDGET,
+) -> List:
+    """Classic ddmin over a list: the returned sublist still satisfies
+    ``predicate`` and is 1-minimal with respect to chunk removal (up to
+    the evaluation budget)."""
+    items = list(items)
+    tracker = _Budget(budget)
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if not tracker.spend():
+                return items
+            if candidate and predicate(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                # restart the scan at the same position on the shorter list
+            else:
+                start += chunk
+        if not reduced:
+            if granularity >= len(items):
+                break
+            granularity = min(len(items), granularity * 2)
+    return items
+
+
+# -- AST reductions ---------------------------------------------------------
+
+
+def _blocks_of(program: SourceProgram) -> List[List]:
+    """Every statement list in the program (top level + nested bodies),
+    as live references so edits apply in place."""
+    blocks = [program.statements]
+    stack = list(program.statements)
+    while stack:
+        statement = stack.pop()
+        if isinstance(statement, IfStatement):
+            blocks.append(statement.then_body)
+            blocks.append(statement.else_body)
+            stack.extend(statement.then_body)
+            stack.extend(statement.else_body)
+        elif isinstance(statement, WhileStatement):
+            blocks.append(statement.body)
+            stack.extend(statement.body)
+    return blocks
+
+
+def _expr_replacements(expr):
+    """Smaller expressions to try in place of ``expr``."""
+    candidates = []
+    if isinstance(expr, SourceBinary):
+        candidates.append(expr.left)
+        candidates.append(expr.right)
+    elif isinstance(expr, SourceUnary):
+        candidates.append(expr.operand)
+    if not isinstance(expr, SourceConst):
+        candidates.append(SourceConst(value=0))
+        candidates.append(SourceConst(value=1))
+    return candidates
+
+
+def _try(program: SourceProgram, predicate, tracker: _Budget) -> bool:
+    if not tracker.spend():
+        return False
+    return predicate(render_source(program))
+
+
+def _shrink_blocks(program, predicate, tracker) -> bool:
+    """One ddmin-style pass over every statement list; True if smaller."""
+    changed = False
+    for block in _blocks_of(program):
+        if len(block) < 2:
+            continue
+        granularity = 2
+        while len(block) >= 2 and tracker.used < tracker.limit:
+            chunk = max(1, len(block) // granularity)
+            start = 0
+            reduced = False
+            while start < len(block):
+                removed = block[start:start + chunk]
+                del block[start:start + chunk]
+                if block and _try(program, predicate, tracker):
+                    changed = reduced = True
+                else:
+                    block[start:start] = removed
+                    start += chunk
+                if tracker.used >= tracker.limit:
+                    break
+            if not reduced:
+                if granularity >= len(block):
+                    break
+                granularity = min(len(block), granularity * 2)
+    return changed
+
+
+def _shrink_structure(program, predicate, tracker) -> bool:
+    """Unwrap compounds: if -> body, drop else, while -> body."""
+    changed = False
+    for block in _blocks_of(program):
+        index = 0
+        while index < len(block) and tracker.used < tracker.limit:
+            statement = block[index]
+            replacements = []
+            if isinstance(statement, IfStatement):
+                replacements.append(list(statement.then_body))
+                if statement.else_body:
+                    replacements.append(list(statement.else_body))
+                    pruned = IfStatement(
+                        condition=statement.condition,
+                        then_body=statement.then_body,
+                        else_body=[],
+                    )
+                    replacements.append([pruned])
+            elif isinstance(statement, WhileStatement):
+                replacements.append(list(statement.body))
+            applied = False
+            for replacement in replacements:
+                original = block[index:index + 1]
+                block[index:index + 1] = replacement
+                if _try(program, predicate, tracker):
+                    changed = applied = True
+                    break
+                block[index:index + len(replacement)] = original
+            if not applied:
+                index += 1
+    return changed
+
+
+def _shrink_expressions(program, predicate, tracker) -> bool:
+    """Replace assignment expressions/indices and conditions by smaller
+    subexpressions or constants."""
+    changed = False
+    for block in _blocks_of(program):
+        for position, statement in enumerate(block):
+            if tracker.used >= tracker.limit:
+                return changed
+            slots = []
+            if isinstance(statement, Assignment):
+                slots.append("expression")
+                if statement.target_index is not None:
+                    slots.append("target_index")
+            elif isinstance(statement, (IfStatement, WhileStatement)):
+                slots.append("condition")
+            for slot in slots:
+                improved = True
+                while improved and tracker.used < tracker.limit:
+                    improved = False
+                    current = getattr(statement, slot)
+                    for candidate in _expr_replacements(current):
+                        setattr(statement, slot, candidate)
+                        if _try(program, predicate, tracker):
+                            changed = improved = True
+                            break
+                        setattr(statement, slot, current)
+            block[position] = statement
+    return changed
+
+
+def minimize_source(
+    source: str,
+    predicate: Callable[[str], bool],
+    budget: int = DEFAULT_EVAL_BUDGET,
+    name: str = "minimized",
+) -> str:
+    """Shrink ``source`` while ``predicate(rendered_source)`` holds.
+
+    Returns the smallest reproducer found within the evaluation budget
+    (the input itself when nothing smaller reproduces).  The predicate
+    is never called on the original source -- it is assumed failing.
+    """
+    program = parse_source(source, name=name)
+    tracker = _Budget(budget)
+    best = copy.deepcopy(program)
+    while tracker.used < tracker.limit:
+        shrunk = False
+        shrunk |= _shrink_blocks(program, predicate, tracker)
+        shrunk |= _shrink_structure(program, predicate, tracker)
+        shrunk |= _shrink_expressions(program, predicate, tracker)
+        if not shrunk:
+            break
+        best = copy.deepcopy(program)
+    return render_source(best)

@@ -31,6 +31,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro.diagnostics import InternalCompilerError, ReproError
 from repro.server.metrics import ServerMetrics
 from repro.service.backends import CompileBackend, error_response
 
@@ -174,10 +175,37 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
             return None
         return self.rfile.read(length)
 
+    def _send_internal_error(self, endpoint: str, error: BaseException) -> None:
+        """Last-resort boundary: an unexpected exception in the handler
+        itself answers with a structured 500 envelope (best effort --
+        when the response already streamed, the connection just closes;
+        HTTP/1.0 close-delimited framing keeps that unambiguous)."""
+        wrapped = InternalCompilerError.wrap(
+            error, context="endpoint %s" % endpoint
+        )
+        try:
+            self._send_json(
+                500,
+                {"ok": False,
+                 "error": {"type": "InternalCompilerError",
+                           "message": str(wrapped), "phase": "internal"}},
+                endpoint,
+            )
+        except Exception:
+            self.server.metrics.record_http(endpoint, 500)
+
     # -- GET ---------------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
         endpoint = self._endpoint()
+        try:
+            self._route_get(endpoint)
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+        except Exception as error:
+            self._send_internal_error(endpoint, error)
+
+    def _route_get(self, endpoint: str) -> None:
         if endpoint == "/healthz":
             payload = {"status": "ok"}
             payload.update(self.server.backend.describe())
@@ -203,14 +231,19 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         endpoint = self._endpoint()
-        if endpoint == "/compile":
-            self._handle_compile(endpoint)
-        elif endpoint == "/batch":
-            self._handle_batch(endpoint)
-        else:
-            self._send_error_json(
-                404, "NotFound", "no such endpoint: %s" % endpoint, endpoint
-            )
+        try:
+            if endpoint == "/compile":
+                self._handle_compile(endpoint)
+            elif endpoint == "/batch":
+                self._handle_batch(endpoint)
+            else:
+                self._send_error_json(
+                    404, "NotFound", "no such endpoint: %s" % endpoint, endpoint
+                )
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away mid-response
+        except Exception as error:
+            self._send_internal_error(endpoint, error)
 
     def _include_results(self) -> bool:
         values = self._query().get("results")
@@ -251,7 +284,7 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
         try:
             response = self.server.backend.run_job(job)
         except Exception as error:  # backend invariant: shouldn't happen
-            response = error_response(job, type(error).__name__, str(error))
+            response = self._backend_error_response(job, error)
         finally:
             self.server.gate.release(1)
         self.server.metrics.record_compile(response)
@@ -365,11 +398,23 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
             self.server.gate.release(len(jobs))
             self.server.metrics.record_http(endpoint, 200)
 
+    @staticmethod
+    def _backend_error_response(job: dict, error: BaseException) -> dict:
+        """A structured envelope for an exception escaping the backend:
+        ReproError subtypes keep their name, anything else is wrapped as
+        an InternalCompilerError (crash-proofing contract)."""
+        if isinstance(error, ReproError):
+            return error_response(job, type(error).__name__, str(error))
+        wrapped = InternalCompilerError.wrap(error, context="backend run_job")
+        return error_response(
+            job, "InternalCompilerError", str(wrapped), phase="internal"
+        )
+
     def _run_one(self, job: dict, index: int = 0) -> dict:
         try:
             response = self.server.backend.run_job(job, index)
         except Exception as error:
-            response = error_response(job, type(error).__name__, str(error))
+            response = self._backend_error_response(job, error)
         self.server.metrics.record_compile(response)
         return response
 

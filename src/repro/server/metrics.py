@@ -309,6 +309,10 @@ class ServerMetrics:
              "Worker processes respawned after a crash or timeout."),
             ("timeouts", "repro_request_timeouts_total",
              "Requests killed by their per-request timeout."),
+            ("backoff_waits", "repro_worker_backoff_waits_total",
+             "Respawns delayed by the crash-storm backoff."),
+            ("consecutive_crashes", "repro_worker_consecutive_crashes",
+             "Current worker crash streak (resets on a successful result)."),
         )
         for key, name, help_text in gauges:
             value = stats.get(key)

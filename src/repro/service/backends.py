@@ -49,6 +49,18 @@ DEFAULT_REQUEST_TIMEOUT_S = 60.0
 #: How long to wait for a freshly spawned worker to report ready.
 WORKER_BOOT_TIMEOUT_S = 120.0
 
+#: Respawn backoff against crash storms: after
+#: ``DEFAULT_RESPAWN_BACKOFF_AFTER`` *consecutive* crashes (no
+#: successful result in between) each further respawn sleeps an
+#: exponentially growing delay, starting at
+#: ``DEFAULT_RESPAWN_BACKOFF_S`` and capped at
+#: ``DEFAULT_RESPAWN_BACKOFF_MAX_S``.  A worker that dies on every
+#: request then costs a bounded respawn rate instead of a fork
+#: livelock; one successful request resets the streak.
+DEFAULT_RESPAWN_BACKOFF_S = 0.05
+DEFAULT_RESPAWN_BACKOFF_MAX_S = 1.0
+DEFAULT_RESPAWN_BACKOFF_AFTER = 3
+
 
 def default_process_workers() -> int:
     """Default worker-process count: one per CPU core.
@@ -71,6 +83,7 @@ def error_response(
     error_type: str,
     message: str,
     elapsed_s: float = 0.0,
+    phase: str = "server",
 ) -> dict:
     """A CompileResponse-shaped error dict for ``job`` (server-level
     failures: crashes, timeouts, saturation -- anything that never
@@ -82,7 +95,7 @@ def error_response(
         "ok": False,
         "elapsed_s": elapsed_s,
         "request_id": job_dict.get("request_id"),
-        "error": {"type": error_type, "message": message, "phase": "server"},
+        "error": {"type": error_type, "message": message, "phase": phase},
     }
 
 
@@ -250,12 +263,39 @@ def _worker_main(conn, cache_dir: Optional[str], warm_targets, test_hooks: bool)
                 os._exit(int(exit_code))
             if sleep_s is not None:
                 time.sleep(float(sleep_s))
-        payload = {
-            "op": "result",
-            "response": _run_one_dict(service, job, index),
-            "stats": service.stats(),
-        }
-        conn.send_bytes(json.dumps(payload).encode("utf-8"))
+        try:
+            response = _run_one_dict(service, job, index)
+            stats = service.stats()
+        except Exception as error:
+            # Crash-proofing contract: a bug in the envelope/stats layer
+            # (CompileService.run itself never raises) answers the frame
+            # with a structured internal-error response instead of
+            # killing the worker.
+            from repro.diagnostics import InternalCompilerError
+
+            wrapped = InternalCompilerError.wrap(
+                error, context="worker pid %d" % os.getpid()
+            )
+            response = error_response(
+                job, "InternalCompilerError", str(wrapped), phase="internal"
+            )
+            stats = {}
+        payload = {"op": "result", "response": response, "stats": stats}
+        try:
+            data = json.dumps(payload).encode("utf-8")
+        except (TypeError, ValueError):
+            payload = {
+                "op": "result",
+                "response": error_response(
+                    job,
+                    "InternalCompilerError",
+                    "worker produced an unserializable response",
+                    phase="internal",
+                ),
+                "stats": {},
+            }
+            data = json.dumps(payload).encode("utf-8")
+        conn.send_bytes(data)
     try:
         conn.close()
     except OSError:
@@ -304,11 +344,17 @@ class ProcessCompileBackend(CompileBackend):
         request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
         start_method: str = "spawn",
         test_hooks: bool = False,
+        respawn_backoff_s: float = DEFAULT_RESPAWN_BACKOFF_S,
+        respawn_backoff_max_s: float = DEFAULT_RESPAWN_BACKOFF_MAX_S,
+        respawn_backoff_after: int = DEFAULT_RESPAWN_BACKOFF_AFTER,
     ):
         import multiprocessing
 
         self.workers = workers if workers else default_process_workers()
         self.request_timeout_s = request_timeout_s
+        self.respawn_backoff_s = respawn_backoff_s
+        self.respawn_backoff_max_s = respawn_backoff_max_s
+        self.respawn_backoff_after = respawn_backoff_after
         self._context = multiprocessing.get_context(start_method)
         self._test_hooks = test_hooks
         self._owns_cache_dir = cache_dir is None
@@ -325,7 +371,9 @@ class ProcessCompileBackend(CompileBackend):
             "timeouts": 0,
             "crashes": 0,
             "respawns": 0,
+            "backoff_waits": 0,
         }
+        self._consecutive_crashes = 0
         self._per_target: Dict[str, Dict[str, int]] = {}
         self._idle: "queue.Queue[_Worker]" = queue.Queue()
         boot_errors = []
@@ -423,7 +471,26 @@ class ProcessCompileBackend(CompileBackend):
     def _respawn(self, worker: _Worker) -> _Worker:
         self._kill(worker)
         self._bump("respawns")
+        with self._lock:
+            self._consecutive_crashes += 1
+            streak = self._consecutive_crashes
+        delay = self._backoff_delay(streak)
+        if delay > 0:
+            self._bump("backoff_waits")
+            time.sleep(delay)
         return self._spawn_worker()
+
+    def _backoff_delay(self, streak: int) -> float:
+        """Respawn delay for the ``streak``-th consecutive crash (0.0
+        until the streak passes ``respawn_backoff_after``, then
+        exponential up to ``respawn_backoff_max_s``)."""
+        after = self.respawn_backoff_after
+        if streak <= after or self.respawn_backoff_s <= 0:
+            return 0.0
+        return min(
+            self.respawn_backoff_s * (2.0 ** (streak - after - 1)),
+            self.respawn_backoff_max_s,
+        )
 
     def _bump(self, counter: str, by: int = 1) -> None:
         with self._lock:
@@ -540,6 +607,8 @@ class ProcessCompileBackend(CompileBackend):
                 )
             if result_frame.get("op") != "result":
                 continue  # stale pong etc.; keep waiting for the result
+            with self._lock:
+                self._consecutive_crashes = 0  # worker is healthy again
             worker.last_stats = result_frame.get("stats") or {}
             response = result_frame.get("response")
             if not isinstance(response, dict):
@@ -562,6 +631,7 @@ class ProcessCompileBackend(CompileBackend):
             stats["workers"] = len(workers)
             stats["backend"] = self.kind
             stats["generations"] = self._generation
+            stats["consecutive_crashes"] = self._consecutive_crashes
         aggregate = {
             "pool_hits": 0,
             "pool_misses": 0,

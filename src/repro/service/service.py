@@ -17,6 +17,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, List, Optional
 
+from repro.diagnostics import InternalCompilerError, ReproError
 from repro.service.api import CompileRequest, CompileResponse, ErrorInfo
 from repro.service.pool import SessionPool
 
@@ -97,6 +98,15 @@ class CompileService:
             return response
         except Exception as error:  # fault isolation: one bad request,
             self._record(request.target, ok=False)  # one error response,
+            if not isinstance(error, ReproError):
+                # Crash-proofing contract: unexpected exceptions surface
+                # as InternalCompilerError diagnostics, never as raw
+                # exception types leaking implementation details.
+                error = InternalCompilerError.wrap(
+                    error,
+                    context="request %r on target %r"
+                    % (name or request.display_name(index), request.target),
+                )
             return CompileResponse(  # never a dead batch
                 target=request.target,
                 name=name or request.display_name(index),

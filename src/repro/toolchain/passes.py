@@ -29,7 +29,12 @@ from repro.codegen.selection import (
     select_terminator,
 )
 from repro.codegen.spill import insert_spills
-from repro.diagnostics import Diagnostic, PipelineError
+from repro.diagnostics import (
+    Diagnostic,
+    InternalCompilerError,
+    PipelineError,
+    ReproError,
+)
 from repro.ir.binding import ResourceBinding
 from repro.ir.program import Program
 from repro.opt.pipeline import OptPipeline, OptStats
@@ -484,6 +489,14 @@ class PassManager:
         pipeline order (two passes sharing a name accumulate into one
         entry) -- the compile-side analogue of the per-phase retargeting
         times of table 3.
+
+        This is the pipeline's internal-error boundary: a structured
+        :class:`ReproError` raised by a pass (invalid input, resource
+        ceiling, uncoverable statement) propagates untouched, but any
+        *unexpected* exception is wrapped into an
+        :class:`InternalCompilerError` naming the failing pass and the
+        program being compiled, with a truncated traceback -- a compiler
+        bug must surface as a diagnostic, never a raw traceback.
         """
         state = CompilationState(program=program)
         verifier = None
@@ -491,13 +504,27 @@ class PassManager:
             from repro.analysis.verify import PipelineVerifier
 
             verifier = PipelineVerifier()
+        inject = os.environ.get("REPRO_INJECT_FAULT", "")
         for p in self.passes:
             if verifier is not None:
                 checked = time.perf_counter()
                 verifier.before_pass(p.name, state, context)
                 state.verify_time_s += time.perf_counter() - checked
             started = time.perf_counter()
-            p.run(state, context)
+            try:
+                if inject and inject == p.name:
+                    raise RuntimeError(
+                        "injected fault in pass %r (REPRO_INJECT_FAULT)" % p.name
+                    )
+                p.run(state, context)
+            except (ReproError, KeyboardInterrupt, SystemExit):
+                raise
+            except Exception as error:
+                raise InternalCompilerError.wrap(
+                    error,
+                    pass_name=p.name,
+                    context="program %r" % program.name,
+                ) from error
             elapsed = time.perf_counter() - started
             state.pass_timings[p.name] = state.pass_timings.get(p.name, 0.0) + elapsed
             if verifier is not None:

@@ -44,6 +44,20 @@ def ref_result(retarget_results):
 
 
 @pytest.fixture(scope="session")
+def fuzz_harnesses(retarget_results):
+    """Differential-oracle harnesses for every DSPStone-capable target,
+    built from the shared retarget fixtures (used by the fuzz campaign
+    and corpus-replay suites)."""
+    from repro.fuzz.campaign import DSP_TARGETS
+    from repro.fuzz.oracles import TargetHarness
+
+    return {
+        name: TargetHarness.create(name, retarget_result=retarget_results[name])
+        for name in DSP_TARGETS
+    }
+
+
+@pytest.fixture(scope="session")
 def tms_compiler(tms_result):
     return RecordCompiler(tms_result)
 

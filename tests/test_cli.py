@@ -83,3 +83,78 @@ class TestCommands:
         output = capsys.readouterr().out
         for name in ("demo", "ref", "tms320c25"):
             assert name in output
+
+
+class TestFuzzCommand:
+    def test_fuzz_subcommand_exists(self):
+        parser = build_parser()
+        args = parser.parse_args(["fuzz", "--seed", "3", "--budget", "7",
+                                  "--targets", "ref", "--oracle", "sim,opt"])
+        assert args.command == "fuzz"
+        assert args.seed == 3 and args.budget == 7
+
+    def test_small_clean_campaign_exits_zero(self, capsys):
+        code = main(["fuzz", "--seed", "0", "--budget", "2",
+                     "--targets", "ref", "--oracle", "sim"])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        assert "0 finding(s)" in captured.out
+
+    def test_json_report_is_machine_readable(self, capsys):
+        import json
+
+        code = main(["fuzz", "--seed", "0", "--budget", "1",
+                     "--targets", "ref", "--oracle", "opt", "--json"])
+        captured = capsys.readouterr()
+        assert code == 0, captured.err
+        report = json.loads(captured.out)
+        assert report["budget"] == 1
+        assert report["divergences"] == 0 and report["crashes"] == 0
+
+    def test_unknown_oracle_is_a_structured_cli_error(self):
+        with pytest.raises(SystemExit, match="unknown oracle"):
+            main(["fuzz", "--budget", "1", "--oracle", "santa"])
+
+
+class TestCrashContract:
+    """ISSUE 8: internal errors exit non-zero with one structured
+    diagnostic line -- a raw traceback never reaches the user."""
+
+    def test_injected_fault_exits_ex_software(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_INJECT_FAULT", "select")
+        code = main(["compile", "demo", "--kernel", "fir"])
+        captured = capsys.readouterr()
+        assert code == 70  # EX_SOFTWARE, distinct from user errors (1)
+        assert captured.err.startswith("error: InternalCompilerError [internal]")
+        assert "in pass 'select'" in captured.err
+        assert "Traceback" not in captured.err
+        assert "Traceback" not in captured.out
+
+    def test_fault_in_another_pass_is_also_wrapped(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_INJECT_FAULT", "schedule")
+        code = main(["compile", "demo", "--kernel", "fir"])
+        captured = capsys.readouterr()
+        assert code == 70
+        assert "in pass 'schedule'" in captured.err
+
+    def test_user_errors_keep_exit_code_one(self, monkeypatch, capsys):
+        # The injected fault never fires for a non-matching pass name, and
+        # ordinary structured errors stay on the user-error exit path.
+        monkeypatch.setenv("REPRO_INJECT_FAULT", "select")
+        code = main(["compile", "demo", "--kernel", "nosuchkernel"])
+        assert code != 70
+
+    def test_batch_surfaces_internal_errors_per_job(self, monkeypatch, tmp_path, capsys):
+        import json
+
+        monkeypatch.setenv("REPRO_INJECT_FAULT", "select")
+        jobs = tmp_path / "jobs.jsonl"
+        jobs.write_text('{"target": "demo", "kernel": "fir"}\n')
+        code = main(["batch", str(jobs)])
+        captured = capsys.readouterr()
+        assert code == 1  # some job failed, but the batch completed
+        response = json.loads(captured.out.splitlines()[0])
+        assert not response["ok"]
+        assert response["error"]["type"] == "InternalCompilerError"
+        assert response["error"]["phase"] == "internal"
+        assert "Traceback" not in captured.err

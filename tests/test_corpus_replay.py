@@ -1,0 +1,57 @@
+"""Replay of the fuzzing regression corpus (tests/corpus/*.json).
+
+Every corpus entry is a minimized finding from a past campaign (or a
+hand-promoted regression program).  Replaying one means re-running its
+recorded oracle on its reproducer: the entry's divergence or crash must
+stay fixed, i.e. every (oracle, target) combination must now come back
+as agreement or a structured skip.  New findings are promoted with
+``repro fuzz --promote tests/corpus``.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.frontend.lowering import lower_to_program
+from repro.fuzz import load_corpus
+from repro.fuzz.campaign import DSP_TARGETS, _run_oracle, program_hash
+from repro.fuzz.oracles import ORACLES, seed_environment
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "corpus"
+CORPUS = load_corpus(CORPUS_DIR)
+
+
+def _entry_id(finding) -> str:
+    return "%s-%s-%s-%s" % (
+        finding.kind, finding.oracle, finding.target, finding.hash
+    )
+
+
+def test_corpus_is_not_empty():
+    assert CORPUS, "the regression corpus disappeared"
+
+
+def test_corpus_hashes_match_their_sources():
+    for finding in CORPUS:
+        assert finding.hash == program_hash(finding.source), _entry_id(finding)
+
+
+@pytest.mark.parametrize("finding", CORPUS, ids=_entry_id)
+def test_replay_stays_fixed(finding, fuzz_harnesses):
+    program = lower_to_program(finding.reproducer, name="corpus")
+    environment = seed_environment(program)
+    oracles = [finding.oracle] if finding.oracle in ORACLES else sorted(ORACLES)
+    targets = list(DSP_TARGETS) if finding.target == "*" else [finding.target]
+    replayed = 0
+    for target in targets:
+        harness = fuzz_harnesses[target]
+        for oracle in oracles:
+            kind, payload = _run_oracle(
+                ORACLES[oracle], harness, program, environment
+            )
+            assert kind in ("ok", "skip"), (
+                "corpus entry %s regressed on %s/%s: %s"
+                % (_entry_id(finding), target, oracle, payload)
+            )
+            replayed += 1
+    assert replayed

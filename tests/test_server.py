@@ -424,6 +424,107 @@ class TestLimits:
 
 
 # ---------------------------------------------------------------------------
+# the crash-proofing contract (ISSUE 8)
+# ---------------------------------------------------------------------------
+
+
+class _RaisingBackend(CompileBackend):
+    """A stub backend whose run_job raises an unexpected exception."""
+
+    kind = "stub"
+    workers = 1
+
+    def run_job(self, job, index=0):
+        raise RuntimeError("backend exploded mid-job")
+
+
+class TestCrashStorm:
+    def test_crash_storm_is_structured_and_respawn_rate_is_bounded(self):
+        # A worker that dies on every request: every caller still gets a
+        # structured per-request error, the backoff throttles respawns
+        # (no spawn livelock), and the counters surface in stats/metrics.
+        backend = ProcessCompileBackend(
+            workers=1,
+            warm_targets=("demo",),
+            test_hooks=True,
+            request_timeout_s=30.0,
+            respawn_backoff_s=0.02,
+            respawn_backoff_max_s=0.1,
+            respawn_backoff_after=2,
+        )
+        try:
+            storm = [
+                {"target": "demo", "kernel": "fir", "_test_exit": 9}
+                for _ in range(6)
+            ]
+            responses = backend.run_jobs(storm)
+            assert len(responses) == 6
+            for response in responses:
+                assert not response["ok"]
+                assert response["error"]["type"] == "WorkerCrashError"
+                assert response["error"]["phase"] == "server"
+            stats = backend.stats()
+            assert stats["crashes"] >= 6
+            assert stats["respawns"] >= 6
+            # streak 1..6 with backoff after 2 -> waits on streaks 3,4,5,6
+            assert stats["backoff_waits"] == 4
+            assert stats["consecutive_crashes"] == 6
+            # the counters are exported as Prometheus gauges
+            text = ServerMetrics(backend_stats=backend.stats).render()
+            assert "repro_worker_backoff_waits_total 4" in text
+            assert "repro_worker_consecutive_crashes 6" in text
+            # one healthy request ends the storm and resets the streak
+            recovered = backend.run_job({"target": "demo", "kernel": "fir"})
+            assert recovered["ok"], recovered.get("error")
+            assert backend.stats()["consecutive_crashes"] == 0
+        finally:
+            backend.close()
+
+
+class TestInternalErrorBoundaries:
+    def test_injected_pass_fault_is_a_structured_response(self, monkeypatch):
+        # REPRO_INJECT_FAULT makes PassManager.run raise inside the
+        # boundary; the service answers with a structured internal
+        # diagnostic instead of crashing the batch.
+        monkeypatch.setenv("REPRO_INJECT_FAULT", "select")
+        with ThreadCompileBackend(workers=1) as backend:
+            response = backend.run_job({"target": "demo", "kernel": "fir"})
+        assert not response["ok"]
+        assert response["error"]["type"] == "InternalCompilerError"
+        assert response["error"]["phase"] == "internal"
+        assert "select" in response["error"]["message"]
+
+    def test_backend_exception_becomes_internal_error_envelope(self):
+        server = start_server(backend=_RaisingBackend(), port=0)
+        try:
+            response = _post(
+                server.url + "/compile", {"target": "demo", "kernel": "fir"}
+            )
+            assert not response["ok"]
+            assert response["error"]["type"] == "InternalCompilerError"
+            assert response["error"]["phase"] == "internal"
+            assert "backend exploded" in response["error"]["message"]
+        finally:
+            server.close(close_backend=False)
+
+    def test_handler_exception_is_a_structured_500(self):
+        server = start_server(backend_kind="thread", workers=1, port=0)
+        try:
+            def broken_render():
+                raise RuntimeError("metrics registry corrupted")
+
+            server.metrics.render = broken_render
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(server.url + "/metrics", timeout=30)
+            assert excinfo.value.code == 500
+            payload = json.loads(excinfo.value.read())
+            assert payload["error"]["type"] == "InternalCompilerError"
+            assert payload["error"]["phase"] == "internal"
+        finally:
+            server.close()
+
+
+# ---------------------------------------------------------------------------
 # metrics units
 # ---------------------------------------------------------------------------
 
