@@ -112,6 +112,64 @@ def test_pooled_concurrent_beats_naive_sequential():
     )
 
 
+def test_disabled_tracing_overhead_is_under_two_percent():
+    """With no tracer installed, the pipeline's span sites hit the null
+    tracer.  The null-path cost -- (spans per compile) x (cost per null
+    span) -- must stay under 2% of a median compile.
+
+    This formulation is robust where a wall-clock A/B is not: the
+    instrumentation cannot be compiled out, so the measurable quantity
+    is the null tracer's per-site cost, scaled by how many sites one
+    real compile executes (counted from a traced run of the same
+    kernel).
+    """
+    from repro.obs.trace import NULL_TRACER, Tracer
+
+    pool = SessionPool()
+    session = pool.session("tms320c25")
+    session.compile_kernel("fir_loop")  # warm the session
+
+    tracer = Tracer(name="bench")
+    traced = session.compile_program(_kernel_program("fir_loop"), tracer=tracer)
+    trace = traced.trace
+    site_count = sum(
+        1 for e in trace["traceEvents"] if e.get("ph") in ("X", "i")
+    )
+    assert site_count > 0
+
+    iterations = 20000
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with NULL_TRACER.span("x"):
+            pass
+    per_span_s = (time.perf_counter() - started) / iterations
+
+    compiles = []
+    for _ in range(5):
+        started = time.perf_counter()
+        session.compile_program(_kernel_program("fir_loop"))
+        compiles.append(time.perf_counter() - started)
+    median_compile_s = sorted(compiles)[len(compiles) // 2]
+
+    overhead = site_count * per_span_s / median_compile_s
+    assert overhead < 0.02, (
+        "disabled tracing costs %.2f%% of a compile (%d sites x %.0fns "
+        "vs %.3fms compile)"
+        % (
+            100.0 * overhead,
+            site_count,
+            per_span_s * 1e9,
+            median_compile_s * 1e3,
+        )
+    )
+
+
+def _kernel_program(name):
+    from repro.dspstone import kernel_program
+
+    return kernel_program(name)
+
+
 # ---------------------------------------------------------------------------
 # BENCH_results.json writer (CI artifact)
 # ---------------------------------------------------------------------------

@@ -158,7 +158,18 @@ def _cmd_compile(args) -> int:
         config = config.with_updates(use_optimizer=False)
     if args.verify:
         config = config.with_updates(verify=True)
-    session = _session(args, config=config)
+    tracer = None
+    if getattr(args, "trace", None):
+        from repro.obs.trace import Tracer, use_tracer
+
+        tracer = Tracer(name="repro-compile")
+    if tracer is not None:
+        # Session construction under the tracer too: a cold cache then
+        # shows the retarget:* phases in the same trace as the compile.
+        with use_tracer(tracer):
+            session = _session(args, config=config)
+    else:
+        session = _session(args, config=config)
     if args.kernel:
         kernel = get_kernel(args.kernel)
         source = kernel.source
@@ -170,11 +181,20 @@ def _cmd_compile(args) -> int:
     else:
         raise SystemExit("error: provide a source file or --kernel NAME")
     try:
-        compiled = session.compile(source, name=name)
+        compiled = session.compile(source, name=name, tracer=tracer)
     except InternalCompilerError:
         raise  # the top-level boundary turns this into exit code 70
     except ReproError as error:
         raise SystemExit("error: %s" % error_report(error))
+    if tracer is not None:
+        tracer.write_chrome_trace(
+            args.trace, process_name="repro compile %s" % session.processor
+        )
+        print(
+            "trace written to %s (open in Perfetto / chrome://tracing, "
+            "or run: repro trace %s)" % (args.trace, args.trace),
+            file=sys.stderr,
+        )
     if args.json:
         print(compiled.to_json(indent=2))
         return 0
@@ -322,6 +342,13 @@ def _cmd_serve(args) -> int:
     from repro.server import make_server
     from repro.service import BackendError, create_backend, default_process_workers
 
+    if args.log_format:
+        from repro.obs import log
+
+        # Both configure this process and export the choice so spawned
+        # compile workers inherit it over the environment.
+        os.environ["REPRO_LOG"] = args.log_format
+        log.configure(format=args.log_format)
     backend_kwargs: dict = {}
     if args.backend == "process":
         backend_kwargs["cache_dir"] = getattr(args, "cache_dir", None) or None
@@ -359,6 +386,57 @@ def _cmd_serve(args) -> int:
         print("\nshutting down")
     finally:
         server.close()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Render the flame summary of a compile trace (see ``repro trace``)."""
+    import json
+
+    from repro.obs.trace import Tracer, flame_summary, use_tracer
+
+    if args.trace_file and args.target:
+        raise SystemExit(
+            "error: pass either a trace file or --target, not both"
+        )
+    if args.trace_file:
+        try:
+            with open(args.trace_file, "r") as handle:
+                trace = json.load(handle)
+        except OSError as error:
+            raise SystemExit("error: cannot read %s: %s" % (args.trace_file, error))
+        except ValueError as error:
+            raise SystemExit(
+                "error: %s is not valid trace-event JSON: %s"
+                % (args.trace_file, error)
+            )
+        print(flame_summary(trace), end="")
+        return 0
+    if not args.target:
+        raise SystemExit(
+            "error: provide a trace file, or --target (with --kernel) "
+            "to compile under a tracer on the fly"
+        )
+    if not args.kernel:
+        raise SystemExit("error: --target needs --kernel NAME")
+    kernel = get_kernel(args.kernel)
+    tracer = Tracer(name="repro-trace")
+    with use_tracer(tracer):
+        session = _session(args)
+        try:
+            session.compile(kernel.source, name=kernel.name, tracer=tracer)
+        except InternalCompilerError:
+            raise
+        except ReproError as error:
+            raise SystemExit("error: %s" % error_report(error))
+    trace = tracer.to_chrome_trace(
+        process_name="repro trace %s" % session.processor
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(trace, handle, indent=2)
+        print("trace written to %s" % args.out, file=sys.stderr)
+    print(flame_summary(trace), end="")
     return 0
 
 
@@ -516,7 +594,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the static pipeline verifier after every pass "
         "(invariant violations abort the compile with a diagnostic)",
     )
+    compile_parser.add_argument(
+        "--trace", metavar="FILE",
+        help="record the compile as Chrome trace-event JSON in FILE "
+        "(open in Perfetto/chrome://tracing, or render with 'repro trace FILE')",
+    )
     _add_cache_flags(compile_parser)
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="render a per-pass flame summary from a compile trace",
+        description="Renders the span tree of a Chrome trace-event JSON "
+        "file produced by 'repro compile --trace' (or by a traced service "
+        "request) as an indented per-pass flame summary.  Alternatively, "
+        "--target/--kernel compiles on the fly under a tracer and "
+        "summarizes that trace directly.",
+    )
+    trace_parser.add_argument(
+        "trace_file", nargs="?",
+        help="trace-event JSON file written by 'repro compile --trace'",
+    )
+    trace_parser.add_argument(
+        "--target", help="compile on the fly: registered target name or HDL file path"
+    )
+    trace_parser.add_argument(
+        "--kernel", help="DSPStone kernel to compile when using --target"
+    )
+    trace_parser.add_argument(
+        "--out", metavar="FILE",
+        help="with --target, also write the raw trace-event JSON to FILE",
+    )
+    _add_cache_flags(trace_parser)
 
     lint_parser = subparsers.add_parser(
         "lint-target",
@@ -623,6 +731,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request to stderr",
+    )
+    serve_parser.add_argument(
+        "--log-format", choices=("json", "text", "off"), default=None,
+        help="structured logging format for the server and its workers "
+        "(overrides the REPRO_LOG environment variable; default: off)",
     )
     _add_cache_flags(serve_parser)
 
@@ -739,6 +852,8 @@ def _dispatch(parser: argparse.ArgumentParser, args) -> int:
         return _cmd_batch(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "table3":

@@ -26,6 +26,7 @@ from repro.fuzz.oracles import (
     TargetHarness,
     seed_environment,
 )
+from repro.obs import log
 from repro.toolchain import Toolchain
 
 #: Targets whose grammars cover the language subset the generator emits
@@ -243,6 +244,13 @@ def run_campaign(
             harnesses[target] = TargetHarness.create(
                 target, toolchain=toolchain, verify=verify
             )
+    log.info(
+        "fuzz_campaign_start",
+        seed=seed,
+        budget=budget,
+        targets=",".join(targets),
+        oracles=",".join(oracle_names),
+    )
     started = time.perf_counter()
     for index in range(budget):
         program_seed = seed * _SEED_STRIDE + index
@@ -295,10 +303,27 @@ def run_campaign(
                     finding.minimized = minimize_source(
                         source, predicate, budget=minimize_budget
                     )
+                log.warning(
+                    "fuzz_finding",
+                    kind=kind,
+                    oracle=oracle,
+                    target=target,
+                    seed=program_seed,
+                    index=index,
+                    hash=finding.hash,
+                )
                 report.findings.append(finding)
         if progress is not None:
             progress(index + 1, budget)
         if len(report.findings) >= max_findings:
             break
     report.elapsed_s = time.perf_counter() - started
+    log.info(
+        "fuzz_campaign_done",
+        programs=report.programs,
+        checks=report.checks,
+        findings=len(report.findings),
+        skips=report.skips,
+        elapsed_s=round(report.elapsed_s, 6),
+    )
     return report

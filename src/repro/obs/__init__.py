@@ -1,0 +1,69 @@
+"""Observability: tracing, structured logging, request correlation,
+and the unified telemetry registry.
+
+Four small, stdlib-only modules shared by every layer of the compile
+pipeline and server:
+
+* :mod:`repro.obs.trace` -- :class:`Tracer`/:class:`Span` context-manager
+  tracing with near-zero disabled cost, Chrome trace-event export
+  (Perfetto-loadable) and a terminal flame summary;
+* :mod:`repro.obs.context` -- the ambient ``request_id``
+  (:func:`use_request_id`), generated at the HTTP front end and carried
+  through envelopes, worker pipes, spans and log records;
+* :mod:`repro.obs.log` -- JSON-lines (or text) structured event records,
+  configured by ``repro serve --log-format`` / ``REPRO_LOG`` /
+  ``REPRO_LOG_FILE``;
+* :mod:`repro.obs.metrics` -- counter/gauge/histogram primitives and the
+  :class:`MetricsRegistry` behind ``GET /metrics``.
+
+Typical tracing usage::
+
+    from repro.obs import Tracer, use_tracer
+
+    tracer = Tracer(name="compile")
+    with use_tracer(tracer):
+        session.compile(source)           # pipeline spans land in tracer
+    tracer.write_chrome_trace("out.json") # open in Perfetto
+"""
+
+from repro.obs import log
+from repro.obs.context import (
+    current_request_id,
+    new_request_id,
+    use_request_id,
+)
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    Span,
+    Tracer,
+    current_tracer,
+    flame_summary,
+    use_tracer,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "Tracer",
+    "current_request_id",
+    "current_tracer",
+    "flame_summary",
+    "log",
+    "new_request_id",
+    "use_request_id",
+    "use_tracer",
+]

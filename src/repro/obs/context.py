@@ -1,0 +1,51 @@
+"""Request correlation: the ambient request id.
+
+One ``request_id`` follows a compile job end to end -- generated (or
+honored from an inbound ``X-Request-Id`` header) at the HTTP front end,
+carried in the :class:`~repro.service.api.CompileRequest` envelope,
+across the worker-process pipe protocol, and picked up implicitly by
+every span (:mod:`repro.obs.trace`) and log record
+(:mod:`repro.obs.log`) emitted while it is current.
+
+The id lives in a :class:`contextvars.ContextVar`, so concurrent
+requests on one thread pool never see each other's ids; worker
+processes re-establish it from the job envelope.
+"""
+
+from __future__ import annotations
+
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator, Optional
+
+_REQUEST_ID: ContextVar[Optional[str]] = ContextVar("repro_request_id", default=None)
+
+
+def new_request_id() -> str:
+    """A fresh, URL-safe request id (32 hex chars)."""
+    return uuid.uuid4().hex
+
+
+def current_request_id() -> Optional[str]:
+    """The ambient request id, or None outside any request scope."""
+    return _REQUEST_ID.get()
+
+
+def set_request_id(request_id: Optional[str]):
+    """Set the ambient request id; returns the reset token."""
+    return _REQUEST_ID.set(request_id)
+
+
+@contextmanager
+def use_request_id(request_id: Optional[str]) -> Iterator[Optional[str]]:
+    """Scope the ambient request id to a ``with`` block.
+
+    ``None`` clears the id inside the block (a job without an id must
+    not inherit a stale one from an earlier job on the same thread).
+    """
+    token = _REQUEST_ID.set(request_id)
+    try:
+        yield request_id
+    finally:
+        _REQUEST_ID.reset(token)

@@ -1,0 +1,178 @@
+"""Structured logging: JSON-lines (or key=value text) event records.
+
+Every record is one line with a fixed envelope -- ``ts`` (unix seconds),
+``level``, ``event`` -- plus whatever fields the call site attaches
+(``target``, ``phase``, ``duration_s``, ...).  The ambient request id
+(:mod:`repro.obs.context`) is folded in automatically, which is what
+makes an HTTP access line, a worker's compile record and a crash record
+joinable on one ``request_id``.
+
+Configuration, highest precedence first:
+
+1. :func:`configure` -- what ``repro serve --log-format`` calls;
+2. the ``REPRO_LOG`` environment variable (``json`` | ``text`` | ``off``),
+   which spawn-started worker processes inherit from the parent;
+3. default: ``off`` (a library must not chat on stderr unasked).
+
+Records go to ``sys.stderr`` unless ``REPRO_LOG_FILE`` (or
+``configure(path=...)``) points at a file, which is opened in append
+mode and shared line-wise by every process writing to it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import IO, Dict, Optional
+
+from repro.obs.context import current_request_id
+
+__all__ = [
+    "LOG_FORMATS",
+    "configure",
+    "debug",
+    "enabled",
+    "error",
+    "info",
+    "log",
+    "log_format",
+    "warning",
+]
+
+LOG_FORMATS = ("json", "text", "off")
+
+_lock = threading.Lock()
+_configured_format: Optional[str] = None
+_configured_path: Optional[str] = None
+_configured_stream: Optional[IO[str]] = None
+_open_files: Dict[str, IO[str]] = {}
+
+
+def configure(
+    format: Optional[str] = None,
+    path: Optional[str] = None,
+    stream: Optional[IO[str]] = None,
+) -> None:
+    """Pin the log format and/or destination for this process.
+
+    ``format=None`` leaves the format to ``REPRO_LOG``; an explicit
+    value overrides the environment.  ``stream`` wins over ``path``
+    wins over ``REPRO_LOG_FILE`` wins over stderr.
+    """
+    global _configured_format, _configured_path, _configured_stream
+    if format is not None and format not in LOG_FORMATS:
+        raise ValueError(
+            "unknown log format %r; choose one of %s" % (format, ", ".join(LOG_FORMATS))
+        )
+    with _lock:
+        if format is not None:
+            _configured_format = format
+        if path is not None:
+            _configured_path = path
+        if stream is not None:
+            _configured_stream = stream
+
+
+def reset() -> None:
+    """Drop every configured override and close opened log files
+    (test isolation)."""
+    global _configured_format, _configured_path, _configured_stream
+    with _lock:
+        _configured_format = None
+        _configured_path = None
+        _configured_stream = None
+        for handle in _open_files.values():
+            try:
+                handle.close()
+            except OSError:
+                pass
+        _open_files.clear()
+
+
+def log_format() -> str:
+    """The effective format (``configure`` > ``REPRO_LOG`` > ``off``)."""
+    if _configured_format is not None:
+        return _configured_format
+    env = os.environ.get("REPRO_LOG", "").strip().lower()
+    return env if env in LOG_FORMATS else "off"
+
+
+def enabled() -> bool:
+    return log_format() != "off"
+
+
+def _destination() -> IO[str]:
+    if _configured_stream is not None:
+        return _configured_stream
+    path = _configured_path or os.environ.get("REPRO_LOG_FILE") or ""
+    if path:
+        with _lock:
+            handle = _open_files.get(path)
+            if handle is None or handle.closed:
+                handle = _open_files[path] = open(path, "a")
+            return handle
+    return sys.stderr
+
+
+def _render_text(record: dict) -> str:
+    head = "%s %-7s %s" % (
+        time.strftime("%H:%M:%S", time.localtime(record["ts"])),
+        record["level"].upper(),
+        record["event"],
+    )
+    extras = " ".join(
+        "%s=%s" % (key, value)
+        for key, value in record.items()
+        if key not in ("ts", "level", "event")
+    )
+    return "%s %s" % (head, extras) if extras else head
+
+
+def log(level: str, event: str, **fields) -> None:
+    """Emit one structured record (no-op when logging is off).
+
+    ``request_id`` defaults to the ambient one; pass it explicitly to
+    attribute a record to a job outside its context (crash handling).
+    ``None``-valued fields are dropped, everything else must be
+    JSON-representable (non-representable values are stringified).
+    """
+    fmt = log_format()
+    if fmt == "off":
+        return
+    record: dict = {"ts": round(time.time(), 6), "level": level, "event": event}
+    if "request_id" not in fields:
+        request_id = current_request_id()
+        if request_id is not None:
+            record["request_id"] = request_id
+    for key, value in fields.items():
+        if value is not None:
+            record[key] = value
+    if fmt == "json":
+        line = json.dumps(record, default=str, separators=(",", ":"))
+    else:
+        line = _render_text(record)
+    destination = _destination()
+    try:
+        destination.write(line + "\n")
+        destination.flush()
+    except (OSError, ValueError):
+        pass  # a closed/broken log sink must never break a compile
+
+
+def debug(event: str, **fields) -> None:
+    log("debug", event, **fields)
+
+
+def info(event: str, **fields) -> None:
+    log("info", event, **fields)
+
+
+def warning(event: str, **fields) -> None:
+    log("warning", event, **fields)
+
+
+def error(event: str, **fields) -> None:
+    log("error", event, **fields)

@@ -21,6 +21,7 @@ from repro.ise.extractor import ExtractionResult, extract_instruction_set
 from repro.ise.templates import RTTemplateBase
 from repro.netlist.builder import build_netlist
 from repro.netlist.netlist import Netlist
+from repro.obs.trace import current_tracer
 from repro.selector.burs import CodeSelector
 from repro.selector.emit import compile_matcher_module
 from repro.selector.tables import GrammarTables
@@ -132,38 +133,54 @@ def retarget(
 ) -> RetargetResult:
     """Run the complete retargeting flow on one HDL processor model."""
     timings = PhaseTimings()
+    tracer = current_tracer()
 
     start = time.perf_counter()
-    model = parse_processor(hdl_source)
+    with tracer.span("retarget:hdl_frontend"):
+        model = parse_processor(hdl_source)
     timings.hdl_frontend = time.perf_counter() - start
 
     start = time.perf_counter()
-    netlist = build_netlist(model)
+    with tracer.span("retarget:netlist"):
+        netlist = build_netlist(model)
     timings.netlist = time.perf_counter() - start
 
     start = time.perf_counter()
-    extraction = extract_instruction_set(
-        netlist, max_depth=max_depth, max_alternatives=max_alternatives
-    )
+    with tracer.span("retarget:extraction") as span:
+        extraction = extract_instruction_set(
+            netlist, max_depth=max_depth, max_alternatives=max_alternatives
+        )
+        if tracer.enabled:
+            span.set(templates=len(extraction.template_base))
     timings.extraction = time.perf_counter() - start
 
     start = time.perf_counter()
-    extended = expand_template_base(extraction.template_base, expansion)
+    with tracer.span("retarget:expansion") as span:
+        extended = expand_template_base(extraction.template_base, expansion)
+        if tracer.enabled:
+            span.set(templates=len(extended))
     timings.expansion = time.perf_counter() - start
 
     start = time.perf_counter()
-    grammar = build_tree_grammar(netlist, extended)
+    with tracer.span("retarget:grammar") as span:
+        grammar = build_tree_grammar(netlist, extended)
+        if tracer.enabled:
+            span.set(rules=len(grammar.rules))
     timings.grammar = time.perf_counter() - start
 
     start = time.perf_counter()
-    tables = GrammarTables.build(grammar)
+    with tracer.span("retarget:tables"):
+        tables = GrammarTables.build(grammar)
     timings.tables = time.perf_counter() - start
 
     start = time.perf_counter()
-    selector = CodeSelector(grammar, tables=tables)
-    matcher_module = (
-        compile_matcher_module(grammar, tables=tables) if generate_matcher else None
-    )
+    with tracer.span("retarget:parser_generation"):
+        selector = CodeSelector(grammar, tables=tables)
+        matcher_module = (
+            compile_matcher_module(grammar, tables=tables)
+            if generate_matcher
+            else None
+        )
     timings.parser_generation = time.perf_counter() - start
 
     return RetargetResult(

@@ -149,7 +149,18 @@ class GrammarTables:
 
     @classmethod
     def build(cls, grammar: TreeGrammar) -> "GrammarTables":
+        from repro.obs.trace import current_tracer
+
         started = time.perf_counter()
+        with current_tracer().span(
+            "tables:build", rules=len(grammar.rules)
+        ):
+            tables = cls._build_inner(grammar)
+        tables.build_time_s = time.perf_counter() - started
+        return tables
+
+    @classmethod
+    def _build_inner(cls, grammar: TreeGrammar) -> "GrammarTables":
         tables = cls(grammar=grammar)
         for rule in grammar.rules:
             if isinstance(rule.pattern, PatNonterm):
@@ -181,7 +192,6 @@ class GrammarTables:
             closure = chain_closure_from(source, tables.chain_rules_by_source)
             if closure:
                 tables.chain_closure[source] = closure
-        tables.build_time_s = time.perf_counter() - started
         return tables
 
     # -- lookups ---------------------------------------------------------------

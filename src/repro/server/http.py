@@ -26,14 +26,21 @@ from __future__ import annotations
 import json
 import sys
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import List, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro.diagnostics import InternalCompilerError, ReproError
+from repro.obs import log
+from repro.obs.context import new_request_id, use_request_id
 from repro.server.metrics import ServerMetrics
 from repro.service.backends import CompileBackend, error_response
+
+#: Longest inbound ``X-Request-Id`` honored verbatim (longer ones are
+#: truncated -- the id lands in logs, traces and metrics labels).
+MAX_REQUEST_ID_CHARS = 128
 
 #: Default cap on request-body bytes (1 MiB -- compile sources are tiny).
 DEFAULT_MAX_BODY_BYTES = 1 << 20
@@ -118,16 +125,37 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
     # -- plumbing ----------------------------------------------------------------
 
     def log_message(self, format: str, *args) -> None:
-        if self.server.verbose:
+        # Structured logging supersedes the legacy stderr access line;
+        # keep the old output only for --verbose without a log format.
+        if self.server.verbose and not log.enabled():
             sys.stderr.write(
                 "%s - %s\n" % (self.address_string(), format % args)
             )
+
+    def _request_id(self) -> str:
+        """This request's correlation id: the inbound ``X-Request-Id``
+        (whitespace-stripped, truncated to :data:`MAX_REQUEST_ID_CHARS`)
+        or a freshly generated one."""
+        inbound = (self.headers.get("X-Request-Id") or "").strip()
+        if inbound:
+            return inbound[:MAX_REQUEST_ID_CHARS]
+        return new_request_id()
 
     def _endpoint(self) -> str:
         return urlsplit(self.path).path
 
     def _query(self) -> dict:
         return parse_qs(urlsplit(self.path).query)
+
+    def _log_access(self, method: str, endpoint: str, code: int) -> None:
+        log.info(
+            "http_request",
+            method=method,
+            endpoint=endpoint,
+            code=code,
+            duration_s=round(time.perf_counter() - self._started, 6),
+            client=self.client_address[0] if self.client_address else None,
+        )
 
     def _send_json(self, code: int, payload: dict, endpoint: str) -> None:
         body = json.dumps(payload).encode("utf-8")
@@ -136,9 +164,11 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
             self.send_header("Retry-After", "1")
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Request-Id", self._rid)
         self.end_headers()
         self.wfile.write(body)
         self.server.metrics.record_http(endpoint, code)
+        self._log_access(self.command, endpoint, code)
 
     def _send_error_json(self, code: int, error_type: str, message: str,
                          endpoint: str) -> None:
@@ -198,8 +228,11 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:  # noqa: N802 (stdlib handler naming)
         endpoint = self._endpoint()
+        self._started = time.perf_counter()
+        self._rid = self._request_id()
         try:
-            self._route_get(endpoint)
+            with use_request_id(self._rid):
+                self._route_get(endpoint)
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response
         except Exception as error:
@@ -219,9 +252,11 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
             self.send_response(200)
             self.send_header("Content-Type", "text/plain; version=0.0.4")
             self.send_header("Content-Length", str(len(body)))
+            self.send_header("X-Request-Id", self._rid)
             self.end_headers()
             self.wfile.write(body)
             self.server.metrics.record_http(endpoint, 200)
+            self._log_access("GET", endpoint, 200)
             return
         self._send_error_json(
             404, "NotFound", "no such endpoint: %s" % endpoint, endpoint
@@ -231,15 +266,18 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802
         endpoint = self._endpoint()
+        self._started = time.perf_counter()
+        self._rid = self._request_id()
         try:
-            if endpoint == "/compile":
-                self._handle_compile(endpoint)
-            elif endpoint == "/batch":
-                self._handle_batch(endpoint)
-            else:
-                self._send_error_json(
-                    404, "NotFound", "no such endpoint: %s" % endpoint, endpoint
-                )
+            with use_request_id(self._rid):
+                if endpoint == "/compile":
+                    self._handle_compile(endpoint)
+                elif endpoint == "/batch":
+                    self._handle_batch(endpoint)
+                else:
+                    self._send_error_json(
+                        404, "NotFound", "no such endpoint: %s" % endpoint, endpoint
+                    )
         except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-response
         except Exception as error:
@@ -272,6 +310,16 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
                 400, "BadRequest", "request body must be a JSON object", endpoint
             )
             return
+        # One id joins everything: a job-supplied request_id wins (the
+        # header then echoes it) unless the client pinned one via
+        # X-Request-Id; a job without one inherits the request's id.
+        job_rid = job.get("request_id")
+        if isinstance(job_rid, str) and job_rid:
+            if not self.headers.get("X-Request-Id"):
+                self._rid = job_rid[:MAX_REQUEST_ID_CHARS]
+        else:
+            job = dict(job)
+            job["request_id"] = self._rid
         if not self.server.gate.try_acquire(1):
             self._send_error_json(
                 429,
@@ -369,9 +417,19 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
             )
             return
         include_results = self._include_results()
+        # Every job of the batch shares this request's id unless it
+        # pinned its own -- one X-Request-Id joins the access log, all
+        # NDJSON envelopes and any worker crash records.
+        jobs = [
+            job
+            if isinstance(job.get("request_id"), str) and job.get("request_id")
+            else {**job, "request_id": self._rid}
+            for job in jobs
+        ]
         try:
             self.send_response(200)
             self.send_header("Content-Type", "application/x-ndjson")
+            self.send_header("X-Request-Id", self._rid)
             self.end_headers()
             backend = self.server.backend
             threads = max(1, min(backend.workers, len(jobs)))
@@ -397,6 +455,7 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
         finally:
             self.server.gate.release(len(jobs))
             self.server.metrics.record_http(endpoint, 200)
+            self._log_access("POST", endpoint, 200)
 
     @staticmethod
     def _backend_error_response(job: dict, error: BaseException) -> dict:
@@ -411,10 +470,15 @@ class CompileRequestHandler(BaseHTTPRequestHandler):
         )
 
     def _run_one(self, job: dict, index: int = 0) -> dict:
-        try:
-            response = self.server.backend.run_job(job, index)
-        except Exception as error:
-            response = self._backend_error_response(job, error)
+        # Executor threads do not inherit the handler's contextvars;
+        # re-establish the job's id so in-process backends log under it.
+        job_rid = job.get("request_id")
+        rid = job_rid if isinstance(job_rid, str) and job_rid else self._rid
+        with use_request_id(rid):
+            try:
+                response = self.server.backend.run_job(job, index)
+            except Exception as error:
+                response = self._backend_error_response(job, error)
         self.server.metrics.record_compile(response)
         return response
 

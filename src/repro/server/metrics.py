@@ -3,17 +3,18 @@
 Every :class:`~repro.toolchain.results.CompilationResult` already
 carries a :class:`~repro.toolchain.results.CompileMetrics` block and
 per-pass wall-clock timings; the compile server only has to *aggregate*
-them.  :class:`ServerMetrics` is that aggregator: a thread-safe registry
-of counters, gauges and fixed-bucket histograms that
-:meth:`record_compile` feeds from each response envelope and
-:meth:`render` serializes for ``GET /metrics``.
+them.  :class:`ServerMetrics` is that aggregator, built on the shared
+counter/gauge/histogram primitives of :mod:`repro.obs.metrics` (one
+:class:`~repro.obs.metrics.MetricsRegistry` per server) --
+:meth:`record_compile` feeds it from each response envelope and
+:meth:`render` serializes it for ``GET /metrics``.
 
 Exported families (all prefixed ``repro_``):
 
 * ``repro_compile_requests_total{target=,status=}`` -- completed/failed
   counts per target;
 * ``repro_compiles_per_second`` -- completion rate over the trailing
-  window (default 60s);
+  window (default 60s; exactly ``0.0`` once the window empties);
 * ``repro_http_requests_total{endpoint=,code=}`` and
   ``repro_http_rejected_total`` -- front-end traffic and backpressure
   rejections (429s);
@@ -21,11 +22,16 @@ Exported families (all prefixed ``repro_``):
 * ``repro_phase_seconds{phase=}`` -- per-pass latency histograms
   aggregated from ``CompilationResult.pass_timings`` (lower, opt,
   select, schedule, spill, compact, ...);
+* ``repro_target_phase_seconds_total{target=,phase=}`` -- cumulative
+  per-pass seconds broken down by target (where does each chip's
+  compile time go?);
 * ``repro_label_memo_hit_rate`` -- node-weighted labelling-memo hit
   rate aggregated from ``CompileMetrics``;
 * ``repro_retarget_cache_*`` / ``repro_session_pool_*`` /
   ``repro_worker_*`` -- backend snapshot gauges taken at scrape time
-  from :meth:`CompileBackend.stats`.
+  from :meth:`CompileBackend.stats`, including per-worker
+  ``repro_worker_requests_total{worker=,status=}`` lines from the
+  process backend.
 """
 
 from __future__ import annotations
@@ -33,78 +39,15 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, List, Optional
 
-#: Log-spaced latency buckets (seconds).  Compiles run ~1-50ms, HTTP
-#: round trips up to seconds; +Inf is implicit.
-LATENCY_BUCKETS = (
-    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
-    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+from repro.obs.metrics import (  # noqa: F401  (re-exported for compatibility)
+    LATENCY_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    format_labels as _labels,
+    format_value as _format_value,
 )
-
-
-def _escape(value: str) -> str:
-    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
-
-
-def _labels(pairs: Dict[str, str]) -> str:
-    if not pairs:
-        return ""
-    inner = ",".join(
-        '%s="%s"' % (key, _escape(str(value))) for key, value in sorted(pairs.items())
-    )
-    return "{%s}" % inner
-
-
-def _format_value(value: float) -> str:
-    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
-        return str(int(value))
-    return repr(value) if not isinstance(value, int) else str(value)
-
-
-class Histogram:
-    """A fixed-bucket cumulative histogram (Prometheus semantics).
-
-    Not thread-safe on its own; :class:`ServerMetrics` serializes access
-    under its registry lock.
-    """
-
-    __slots__ = ("buckets", "counts", "total", "count")
-
-    def __init__(self, buckets: Tuple[float, ...] = LATENCY_BUCKETS):
-        self.buckets = tuple(buckets)
-        self.counts = [0] * (len(self.buckets) + 1)  # last slot = +Inf
-        self.total = 0.0
-        self.count = 0
-
-    def observe(self, value: float) -> None:
-        self.total += value
-        self.count += 1
-        for index, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[index] += 1
-                return
-        self.counts[-1] += 1
-
-    def render(self, name: str, labels: Optional[Dict[str, str]] = None) -> List[str]:
-        labels = dict(labels or {})
-        lines = []
-        cumulative = 0
-        for bound, count in zip(self.buckets, self.counts):
-            cumulative += count
-            bucket_labels = dict(labels)
-            bucket_labels["le"] = "%g" % bound
-            lines.append(
-                "%s_bucket%s %d" % (name, _labels(bucket_labels), cumulative)
-            )
-        bucket_labels = dict(labels)
-        bucket_labels["le"] = "+Inf"
-        lines.append(
-            "%s_bucket%s %d" % (name, _labels(bucket_labels), self.count)
-        )
-        lines.append("%s_sum%s %s" % (name, _labels(labels), repr(self.total)))
-        lines.append("%s_count%s %d" % (name, _labels(labels), self.count))
-        return lines
 
 
 class ServerMetrics:
@@ -113,35 +56,67 @@ class ServerMetrics:
     ``backend_stats`` is an optional zero-argument callable (typically
     ``backend.stats``) sampled at render time, so cache hit rates and
     worker counts are always current without the hot path touching
-    them.
+    them.  ``clock`` is injectable for rate-window tests.
     """
 
     def __init__(
         self,
         backend_stats: Optional[Callable[[], dict]] = None,
         rate_window_s: float = 60.0,
+        clock: Callable[[], float] = time.time,
     ):
         self._lock = threading.Lock()
-        self._started = time.time()
+        self._clock = clock
+        self._started = clock()
         self._backend_stats = backend_stats
         self._rate_window_s = rate_window_s
-        self._compile_counts: Dict[Tuple[str, str], int] = {}
-        self._http_counts: Dict[Tuple[str, str], int] = {}
-        self._rejected = 0
         self._recent_completions: deque = deque()
-        self._request_hist = Histogram()
-        self._phase_hists: Dict[str, Histogram] = {}
         self._label_nodes = 0
         self._label_memo_hits = 0.0
+        self.registry = MetricsRegistry()
+        self._compile_requests = self.registry.counter(
+            "repro_compile_requests_total",
+            "Compile requests by target and status.",
+            labels=("target", "status"),
+        )
+        self._http_requests = self.registry.counter(
+            "repro_http_requests_total",
+            "HTTP requests by endpoint and status code.",
+            labels=("endpoint", "code"),
+        )
+        self._http_rejected = self.registry.counter(
+            "repro_http_rejected_total",
+            "Requests rejected with 429 (backpressure).",
+        )
+        self._http_rejected.inc(0)  # always present, even before traffic
+        self._request_seconds = self.registry.histogram(
+            "repro_request_seconds",
+            "Wall-clock service time per compile request.",
+        )
+        self._request_seconds.labels()  # render zero buckets before traffic
+        self._phase_seconds = self.registry.histogram(
+            "repro_phase_seconds",
+            "Per-pass compile latency "
+            "(aggregated from CompilationResult.pass_timings).",
+            labels=("phase",),
+        )
+        self._target_phase_seconds = self.registry.counter(
+            "repro_target_phase_seconds_total",
+            "Cumulative per-pass compile seconds by target.",
+            labels=("target", "phase"),
+        )
+        self._labelled_nodes = self.registry.counter(
+            "repro_labelled_nodes_total",
+            "Subject-tree nodes labelled.",
+        )
+        self._labelled_nodes.inc(0)
 
     # -- recording ---------------------------------------------------------------
 
     def record_http(self, endpoint: str, code: int) -> None:
-        key = (endpoint, str(code))
-        with self._lock:
-            self._http_counts[key] = self._http_counts.get(key, 0) + 1
-            if code == 429:
-                self._rejected += 1
+        self._http_requests.labels(endpoint=endpoint, code=str(code)).inc()
+        if code == 429:
+            self._http_rejected.inc()
 
     def record_compile(self, response: dict) -> None:
         """Fold one response envelope (a ``CompileResponse.to_dict``)
@@ -152,24 +127,27 @@ class ServerMetrics:
         result = response.get("result") or {}
         pass_timings = result.get("pass_timings") or {}
         metrics = result.get("metrics") or {}
-        now = time.time()
+        now = self._clock()
+        self._compile_requests.labels(
+            target=target, status="ok" if ok else "error"
+        ).inc()
         with self._lock:
-            key = (target, "ok" if ok else "error")
-            self._compile_counts[key] = self._compile_counts.get(key, 0) + 1
             self._recent_completions.append(now)
             self._trim_recent(now)
-            if isinstance(elapsed, (int, float)):
-                self._request_hist.observe(float(elapsed))
-            for phase, seconds in pass_timings.items():
-                if not isinstance(seconds, (int, float)):
-                    continue
-                hist = self._phase_hists.get(phase)
-                if hist is None:
-                    hist = self._phase_hists[phase] = Histogram()
-                hist.observe(float(seconds))
-            nodes = metrics.get("nodes_labelled")
-            rate = metrics.get("label_memo_hit_rate")
-            if isinstance(nodes, int) and nodes > 0 and isinstance(rate, (int, float)):
+        if isinstance(elapsed, (int, float)):
+            self._request_seconds.labels().observe(float(elapsed))
+        for phase, seconds in pass_timings.items():
+            if not isinstance(seconds, (int, float)):
+                continue
+            self._phase_seconds.labels(phase=phase).observe(float(seconds))
+            self._target_phase_seconds.labels(target=target, phase=phase).inc(
+                float(seconds)
+            )
+        nodes = metrics.get("nodes_labelled")
+        rate = metrics.get("label_memo_hit_rate")
+        if isinstance(nodes, int) and nodes > 0 and isinstance(rate, (int, float)):
+            self._labelled_nodes.inc(nodes)
+            with self._lock:
                 self._label_nodes += nodes
                 self._label_memo_hits += nodes * float(rate)
 
@@ -181,29 +159,36 @@ class ServerMetrics:
     # -- rendering ---------------------------------------------------------------
 
     def compiles_per_second(self) -> float:
-        now = time.time()
+        """Completion rate over the trailing window.
+
+        Decays to exactly ``0.0`` once no completion falls inside the
+        window anymore -- a scrape after traffic stops must read an
+        idle server, not the last window's stale rate.
+        """
+        now = self._clock()
         with self._lock:
             self._trim_recent(now)
+            if not self._recent_completions:
+                return 0.0
             window = min(self._rate_window_s, max(now - self._started, 1e-9))
             return len(self._recent_completions) / window if window else 0.0
 
+    def _status_totals(self) -> dict:
+        totals = {"ok": 0, "error": 0}
+        for label_dict, child in self._compile_requests.collect():
+            status = label_dict.get("status")
+            if status in totals:
+                totals[status] += int(child.value)
+        return totals
+
     def snapshot(self) -> dict:
         """A plain-dict summary (the JSON sibling of :meth:`render`)."""
-        with self._lock:
-            completed = sum(
-                count for (_t, status), count in self._compile_counts.items()
-                if status == "ok"
-            )
-            failed = sum(
-                count for (_t, status), count in self._compile_counts.items()
-                if status == "error"
-            )
-            rejected = self._rejected
+        totals = self._status_totals()
         return {
-            "uptime_s": time.time() - self._started,
-            "completed": completed,
-            "failed": failed,
-            "rejected": rejected,
+            "uptime_s": self._clock() - self._started,
+            "completed": totals["ok"],
+            "failed": totals["error"],
+            "rejected": int(self._http_rejected.labels().value),
             "compiles_per_second": self.compiles_per_second(),
         }
 
@@ -216,70 +201,33 @@ class ServerMetrics:
             except Exception:
                 backend_stats = {}
         per_second = self.compiles_per_second()
-        lines: List[str] = []
         with self._lock:
-            lines.append("# HELP repro_uptime_seconds Seconds since server start.")
-            lines.append("# TYPE repro_uptime_seconds gauge")
-            lines.append(
-                "repro_uptime_seconds %s" % repr(time.time() - self._started)
+            memo_rate = (
+                self._label_memo_hits / self._label_nodes
+                if self._label_nodes
+                else 0.0
             )
-            lines.append(
-                "# HELP repro_compile_requests_total Compile requests by target and status."
-            )
-            lines.append("# TYPE repro_compile_requests_total counter")
-            for (target, status), count in sorted(self._compile_counts.items()):
-                lines.append(
-                    "repro_compile_requests_total%s %d"
-                    % (_labels({"target": target, "status": status}), count)
-                )
-            lines.append(
-                "# HELP repro_compiles_per_second Completion rate over the trailing window."
-            )
-            lines.append("# TYPE repro_compiles_per_second gauge")
-            lines.append("repro_compiles_per_second %s" % repr(per_second))
-            lines.append(
-                "# HELP repro_http_requests_total HTTP requests by endpoint and status code."
-            )
-            lines.append("# TYPE repro_http_requests_total counter")
-            for (endpoint, code), count in sorted(self._http_counts.items()):
-                lines.append(
-                    "repro_http_requests_total%s %d"
-                    % (_labels({"endpoint": endpoint, "code": code}), count)
-                )
-            lines.append(
-                "# HELP repro_http_rejected_total Requests rejected with 429 (backpressure)."
-            )
-            lines.append("# TYPE repro_http_rejected_total counter")
-            lines.append("repro_http_rejected_total %d" % self._rejected)
-            lines.append(
-                "# HELP repro_request_seconds Wall-clock service time per compile request."
-            )
-            lines.append("# TYPE repro_request_seconds histogram")
-            lines.extend(self._request_hist.render("repro_request_seconds"))
-            lines.append(
-                "# HELP repro_phase_seconds Per-pass compile latency "
-                "(aggregated from CompilationResult.pass_timings)."
-            )
-            lines.append("# TYPE repro_phase_seconds histogram")
-            for phase in sorted(self._phase_hists):
-                lines.extend(
-                    self._phase_hists[phase].render(
-                        "repro_phase_seconds", {"phase": phase}
-                    )
-                )
-            lines.append(
-                "# HELP repro_label_memo_hit_rate Node-weighted labelling-memo hit rate."
-            )
-            lines.append("# TYPE repro_label_memo_hit_rate gauge")
-            rate = (
-                self._label_memo_hits / self._label_nodes if self._label_nodes else 0.0
-            )
-            lines.append("repro_label_memo_hit_rate %s" % repr(rate))
-            lines.append(
-                "# HELP repro_labelled_nodes_total Subject-tree nodes labelled."
-            )
-            lines.append("# TYPE repro_labelled_nodes_total counter")
-            lines.append("repro_labelled_nodes_total %d" % self._label_nodes)
+        lines: List[str] = []
+        lines.append("# HELP repro_uptime_seconds Seconds since server start.")
+        lines.append("# TYPE repro_uptime_seconds gauge")
+        lines.append("repro_uptime_seconds %s" % repr(self._clock() - self._started))
+        lines.extend(self._compile_requests.render())
+        lines.append(
+            "# HELP repro_compiles_per_second Completion rate over the trailing window."
+        )
+        lines.append("# TYPE repro_compiles_per_second gauge")
+        lines.append("repro_compiles_per_second %s" % repr(per_second))
+        lines.extend(self._http_requests.render())
+        lines.extend(self._http_rejected.render())
+        lines.extend(self._request_seconds.render())
+        lines.extend(self._phase_seconds.render())
+        lines.extend(self._target_phase_seconds.render())
+        lines.append(
+            "# HELP repro_label_memo_hit_rate Node-weighted labelling-memo hit rate."
+        )
+        lines.append("# TYPE repro_label_memo_hit_rate gauge")
+        lines.append("repro_label_memo_hit_rate %s" % repr(memo_rate))
+        lines.extend(self._labelled_nodes.render())
         lines.extend(self._render_backend(backend_stats))
         return "\n".join(lines) + "\n"
 
@@ -289,8 +237,9 @@ class ServerMetrics:
 
         The thread backend exposes ``pool_hits``/``pool_misses``/
         ``pool_retargets`` directly; the process backend aggregates the
-        same keys across workers and adds crash/respawn/timeout
-        counters.
+        same keys across workers, adds crash/respawn/timeout counters
+        and a ``per_worker`` list rendered as
+        ``repro_worker_requests_total{status=,worker=}``.
         """
         lines: List[str] = []
         gauges = (
@@ -331,4 +280,25 @@ class ServerMetrics:
             lines.append(
                 "repro_session_pool_hit_rate %s" % repr(hits / (hits + misses))
             )
+        per_worker = stats.get("per_worker")
+        if isinstance(per_worker, list) and per_worker:
+            lines.append(
+                "# HELP repro_worker_requests_total Requests served per live worker."
+            )
+            lines.append("# TYPE repro_worker_requests_total gauge")
+            for entry in per_worker:
+                if not isinstance(entry, dict):
+                    continue
+                worker = str(entry.get("worker", "") or "")
+                for status, key in (("ok", "completed"), ("error", "failed")):
+                    value = entry.get(key)
+                    if not isinstance(value, (int, float)):
+                        continue
+                    lines.append(
+                        "repro_worker_requests_total%s %s"
+                        % (
+                            _labels({"worker": worker, "status": status}),
+                            _format_value(value),
+                        )
+                    )
         return lines

@@ -62,7 +62,11 @@ class CompileRequest:
     ``verify`` likewise overrides the static-verifier knob
     (``"verify": true`` runs the pipeline verifier for that job).
     ``request_id`` is echoed back in the response so callers can
-    correlate out-of-order streams.  ``timeout_s`` bounds the wall-clock
+    correlate out-of-order streams (the HTTP front end fills it in from
+    ``X-Request-Id`` when the job carries none).  ``trace`` asks the
+    service to run this compile under a
+    :class:`~repro.obs.trace.Tracer`; the response's result then embeds
+    the Chrome trace-event JSON.  ``timeout_s`` bounds the wall-clock
     service time of this request: the process backend kills and respawns
     the worker when it expires (a structured timeout error response, the
     worker slot survives); the thread backend cannot preempt a running
@@ -80,6 +84,7 @@ class CompileRequest:
     binding_overrides: Dict[str, str] = field(default_factory=dict)
     request_id: Optional[str] = None
     timeout_s: Optional[float] = None
+    trace: bool = False
 
     def validate(self) -> None:
         if not self.target:
@@ -143,6 +148,8 @@ class CompileRequest:
             data["request_id"] = self.request_id
         if self.timeout_s is not None:
             data["timeout_s"] = self.timeout_s
+        if self.trace:
+            data["trace"] = True
         return data
 
     @classmethod
@@ -166,6 +173,7 @@ class CompileRequest:
             "binding_overrides",
             "request_id",
             "timeout_s",
+            "trace",
         }
         unknown = sorted(set(data) - known)
         if unknown:
@@ -179,6 +187,9 @@ class CompileRequest:
         verify = data.get("verify")
         if verify is not None and not isinstance(verify, bool):
             raise RequestError('"verify" must be a JSON boolean')
+        trace = data.get("trace", False)
+        if not isinstance(trace, bool):
+            raise RequestError('"trace" must be a JSON boolean')
         request = cls(
             target=data.get("target", ""),
             source=data.get("source"),
@@ -191,6 +202,7 @@ class CompileRequest:
             binding_overrides=dict(data.get("binding_overrides") or {}),
             request_id=data.get("request_id"),
             timeout_s=data.get("timeout_s"),
+            trace=trace,
         )
         request.validate()
         return request

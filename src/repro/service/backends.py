@@ -41,6 +41,8 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.diagnostics import ReproError
+from repro.obs import log
+from repro.obs.context import use_request_id
 
 #: Wall-clock bound on one request when neither the job nor the backend
 #: pins one (process backend only; threads cannot be preempted).
@@ -60,6 +62,9 @@ WORKER_BOOT_TIMEOUT_S = 120.0
 DEFAULT_RESPAWN_BACKOFF_S = 0.05
 DEFAULT_RESPAWN_BACKOFF_MAX_S = 1.0
 DEFAULT_RESPAWN_BACKOFF_AFTER = 3
+
+#: How many trailing worker-stderr lines a crash report carries.
+DEFAULT_STDERR_TAIL_LINES = 20
 
 
 def default_process_workers() -> int:
@@ -182,6 +187,14 @@ class ThreadCompileBackend(CompileBackend):
         return stats
 
 
+def _job_request_id(job: object) -> Optional[str]:
+    if isinstance(job, dict):
+        request_id = job.get("request_id")
+        if isinstance(request_id, str):
+            return request_id
+    return None
+
+
 def _run_one_dict(service, job: object, index: int) -> dict:
     """One decoded job through a :class:`CompileService`, positional
     default naming included (the single-job sibling of
@@ -206,7 +219,31 @@ def _run_one_dict(service, job: object, index: int) -> dict:
 # ---------------------------------------------------------------------------
 
 
-def _worker_main(conn, cache_dir: Optional[str], warm_targets, test_hooks: bool):
+def _redirect_stderr(path: str) -> None:
+    """Point this process's fd 2 (and ``sys.stderr``) at ``path``.
+
+    A crashing worker's tracebacks and abort messages land in a file
+    the parent can read back, instead of vanishing with the process --
+    ``os._exit`` and C-level aborts only flush through the fd, which is
+    why this dups over fd 2 rather than rebinding ``sys.stderr`` alone.
+    """
+    import sys
+
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o600)
+    try:
+        os.dup2(fd, 2)
+    finally:
+        os.close(fd)
+    sys.stderr = os.fdopen(2, "w", buffering=1, closefd=False)
+
+
+def _worker_main(
+    conn,
+    cache_dir: Optional[str],
+    warm_targets,
+    test_hooks: bool,
+    stderr_path: Optional[str] = None,
+):
     """Worker-process entry point.
 
     Builds a :class:`~repro.service.pool.SessionPool` whose retarget
@@ -216,11 +253,28 @@ def _worker_main(conn, cache_dir: Optional[str], warm_targets, test_hooks: bool)
     EOF or a shutdown frame.  Every result frame piggybacks the
     worker's own ``CompileService.stats()`` snapshot so the parent can
     aggregate pool/cache hit rates without a second round trip.
+
+    With ``stderr_path`` the worker's fd 2 is redirected there so the
+    parent can attach the trailing lines to a crash report.  Each job's
+    ``request_id`` is made ambient before the compile runs, so worker
+    log records join the HTTP access log on one id.
     """
     from repro.service.pool import SessionPool
     from repro.service.service import CompileService
     from repro.toolchain import RetargetCache, Toolchain
 
+    if stderr_path:
+        try:
+            if log.enabled() and not os.environ.get("REPRO_LOG_FILE"):
+                # Keep log records flowing to the *inherited* stderr (the
+                # server's log stream) even after fd 2 is redirected into
+                # the crash-capture file below.
+                log.configure(
+                    stream=os.fdopen(os.dup(2), "w", buffering=1)
+                )
+            _redirect_stderr(stderr_path)
+        except OSError:
+            pass  # stderr capture is best-effort; the worker still serves
     cache = RetargetCache(directory=cache_dir if cache_dir else False)
     pool = SessionPool(toolchain=Toolchain(cache=cache))
     service = CompileService(pool=pool, max_workers=1)
@@ -234,6 +288,7 @@ def _worker_main(conn, cache_dir: Optional[str], warm_targets, test_hooks: bool)
     conn.send_bytes(
         json.dumps({"op": "ready", "pid": os.getpid(), "warmed": warmed}).encode()
     )
+    log.info("worker_ready", pid=os.getpid(), warmed=len(warmed))
     while True:
         try:
             data = conn.recv_bytes()
@@ -259,12 +314,19 @@ def _worker_main(conn, cache_dir: Optional[str], warm_targets, test_hooks: bool)
             # test_hooks=True, never in production configurations.
             exit_code = job.pop("_test_exit", None)
             sleep_s = job.pop("_test_sleep_s", None)
+            stderr_text = job.pop("_test_stderr", None)
+            if stderr_text is not None:
+                import sys
+
+                print(stderr_text, file=sys.stderr, flush=True)
             if exit_code is not None:
                 os._exit(int(exit_code))
             if sleep_s is not None:
                 time.sleep(float(sleep_s))
+        job_request_id = job.get("request_id") if isinstance(job, dict) else None
         try:
-            response = _run_one_dict(service, job, index)
+            with use_request_id(job_request_id):
+                response = _run_one_dict(service, job, index)
             stats = service.stats()
         except Exception as error:
             # Crash-proofing contract: a bug in the envelope/stats layer
@@ -305,14 +367,15 @@ def _worker_main(conn, cache_dir: Optional[str], warm_targets, test_hooks: bool)
 class _Worker:
     """Parent-side handle of one worker process."""
 
-    __slots__ = ("process", "conn", "pid", "generation", "last_stats")
+    __slots__ = ("process", "conn", "pid", "generation", "last_stats", "stderr_path")
 
-    def __init__(self, process, conn, generation: int):
+    def __init__(self, process, conn, generation: int, stderr_path: Optional[str] = None):
         self.process = process
         self.conn = conn
         self.pid = process.pid
         self.generation = generation
         self.last_stats: dict = {}
+        self.stderr_path = stderr_path
 
 
 class ProcessCompileBackend(CompileBackend):
@@ -347,11 +410,13 @@ class ProcessCompileBackend(CompileBackend):
         respawn_backoff_s: float = DEFAULT_RESPAWN_BACKOFF_S,
         respawn_backoff_max_s: float = DEFAULT_RESPAWN_BACKOFF_MAX_S,
         respawn_backoff_after: int = DEFAULT_RESPAWN_BACKOFF_AFTER,
+        stderr_tail_lines: int = DEFAULT_STDERR_TAIL_LINES,
     ):
         import multiprocessing
 
         self.workers = workers if workers else default_process_workers()
         self.request_timeout_s = request_timeout_s
+        self.stderr_tail_lines = stderr_tail_lines
         self.respawn_backoff_s = respawn_backoff_s
         self.respawn_backoff_max_s = respawn_backoff_max_s
         self.respawn_backoff_after = respawn_backoff_after
@@ -427,16 +492,28 @@ class ProcessCompileBackend(CompileBackend):
                 raise BackendError("backend is closed")
             self._generation += 1
             generation = self._generation
+        stderr_path: Optional[str] = None
+        if self.stderr_tail_lines > 0:
+            fd, stderr_path = tempfile.mkstemp(
+                prefix="repro-worker-%d-" % generation, suffix=".stderr"
+            )
+            os.close(fd)
         parent_conn, child_conn = self._context.Pipe(duplex=True)
         process = self._context.Process(
             target=_worker_main,
-            args=(child_conn, self.cache_dir, self.warm_targets, self._test_hooks),
+            args=(
+                child_conn,
+                self.cache_dir,
+                self.warm_targets,
+                self._test_hooks,
+                stderr_path,
+            ),
             daemon=True,
             name="repro-compile-worker-%d" % generation,
         )
         process.start()
         child_conn.close()
-        worker = _Worker(process, parent_conn, generation)
+        worker = _Worker(process, parent_conn, generation, stderr_path=stderr_path)
         if not parent_conn.poll(WORKER_BOOT_TIMEOUT_S):
             self._kill(worker)
             raise BackendError("compile worker %d did not boot" % generation)
@@ -467,6 +544,24 @@ class ProcessCompileBackend(CompileBackend):
             if worker.process.is_alive() and hasattr(worker.process, "kill"):
                 worker.process.kill()
                 worker.process.join(timeout=5.0)
+        if worker.stderr_path:
+            try:
+                os.unlink(worker.stderr_path)
+            except OSError:
+                pass
+
+    def _stderr_tail(self, worker: _Worker) -> str:
+        """The last ``stderr_tail_lines`` lines the worker wrote to its
+        captured stderr ('' when capture is off or the file is empty).
+        Read *before* :meth:`_kill`, which deletes the file."""
+        if not worker.stderr_path or self.stderr_tail_lines <= 0:
+            return ""
+        try:
+            with open(worker.stderr_path, "r", errors="replace") as handle:
+                lines = handle.read().splitlines()
+        except OSError:
+            return ""
+        return "\n".join(lines[-self.stderr_tail_lines:]).strip()
 
     def _respawn(self, worker: _Worker) -> _Worker:
         self._kill(worker)
@@ -552,6 +647,15 @@ class ProcessCompileBackend(CompileBackend):
             # respawn and retry once -- the job never started, so the
             # retry cannot double-execute anything.
             self._bump("crashes")
+            tail = self._stderr_tail(worker)
+            log.error(
+                "worker_crash",
+                pid=worker.pid,
+                generation=worker.generation,
+                when="idle",
+                request_id=_job_request_id(job),
+                stderr_tail=tail or None,
+            )
             worker = self._respawn(worker)
             try:
                 worker.conn.send_bytes(frame)
@@ -568,6 +672,13 @@ class ProcessCompileBackend(CompileBackend):
             remaining = deadline - time.perf_counter()
             if remaining <= 0:
                 self._bump("timeouts")
+                log.warning(
+                    "request_timeout",
+                    pid=worker.pid,
+                    timeout_s=timeout_s,
+                    target=(job.get("target") if isinstance(job, dict) else None),
+                    request_id=_job_request_id(job),
+                )
                 worker = self._respawn(worker)
                 return worker, error_response(
                     job,
@@ -586,12 +697,31 @@ class ProcessCompileBackend(CompileBackend):
                 worker.process.join(timeout=2.0)  # reap, so exitcode is real
                 exitcode = worker.process.exitcode
                 self._bump("crashes")
+                tail = self._stderr_tail(worker)
+                log.error(
+                    "worker_crash",
+                    pid=worker.pid,
+                    generation=worker.generation,
+                    when="mid-request",
+                    exitcode=exitcode,
+                    target=(job.get("target") if isinstance(job, dict) else None),
+                    request_id=_job_request_id(job),
+                    stderr_tail=tail or None,
+                )
                 worker = self._respawn(worker)
+                message = (
+                    "compile worker crashed mid-request (exit code %s); "
+                    "a fresh worker took its slot" % (exitcode,)
+                )
+                if tail:
+                    message += "\nworker stderr (last %d lines):\n%s" % (
+                        self.stderr_tail_lines,
+                        tail,
+                    )
                 return worker, error_response(
                     job,
                     "WorkerCrashError",
-                    "compile worker crashed mid-request (exit code %s); "
-                    "a fresh worker took its slot" % (exitcode,),
+                    message,
                     elapsed_s=time.perf_counter() - started,
                 )
             try:
@@ -621,7 +751,10 @@ class ProcessCompileBackend(CompileBackend):
 
     def stats(self) -> dict:
         """Parent-side counters plus an aggregate of the last per-worker
-        ``CompileService.stats()`` snapshots (pool/cache hit totals)."""
+        ``CompileService.stats()`` snapshots (pool/cache hit totals) and
+        a ``per_worker`` breakdown (one entry per live worker, keyed by
+        its generation -- what ``/metrics`` renders as
+        ``repro_worker_requests_total{worker="g<N>",...}``)."""
         with self._lock:
             stats: dict = dict(self._counters)
             stats["per_target"] = {
@@ -638,13 +771,24 @@ class ProcessCompileBackend(CompileBackend):
             "pool_retargets": 0,
             "pool_sessions": 0,
         }
+        per_worker = []
         for worker in workers:
             snapshot = worker.last_stats
             for key in aggregate:
                 value = snapshot.get(key)
                 if isinstance(value, int):
                     aggregate[key] += value
+            per_worker.append(
+                {
+                    "worker": "g%d" % worker.generation,
+                    "pid": worker.pid,
+                    "completed": int(snapshot.get("completed") or 0),
+                    "failed": int(snapshot.get("failed") or 0),
+                }
+            )
+        per_worker.sort(key=lambda entry: entry["worker"])
         stats.update(aggregate)
+        stats["per_worker"] = per_worker
         return stats
 
     def close(self) -> None:
@@ -668,6 +812,11 @@ class ProcessCompileBackend(CompileBackend):
                 worker.conn.close()
             except OSError:
                 pass
+            if worker.stderr_path:
+                try:
+                    os.unlink(worker.stderr_path)
+                except OSError:
+                    pass
         while True:
             try:
                 self._idle.get_nowait()

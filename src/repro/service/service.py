@@ -18,6 +18,9 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Iterable, List, Optional
 
 from repro.diagnostics import InternalCompilerError, ReproError
+from repro.obs import log
+from repro.obs.context import use_request_id
+from repro.obs.trace import Tracer
 from repro.service.api import CompileRequest, CompileResponse, ErrorInfo
 from repro.service.pool import SessionPool
 
@@ -68,7 +71,19 @@ class CompileService:
     # -- single requests ---------------------------------------------------------
 
     def run(self, request: CompileRequest, index: int = 0) -> CompileResponse:
-        """Execute one request; never raises (errors become responses)."""
+        """Execute one request; never raises (errors become responses).
+
+        The request's ``request_id`` becomes ambient for the duration
+        (log records emitted anywhere below carry it); ``trace=True``
+        runs the compile under a per-request :class:`Tracer` whose
+        Chrome trace lands in ``response.result.trace``.
+        """
+        with use_request_id(request.request_id):
+            return self._run_in_context(request, index)
+
+    def _run_in_context(
+        self, request: CompileRequest, index: int
+    ) -> CompileResponse:
         started = time.perf_counter()
         name = ""
         try:
@@ -77,24 +92,43 @@ class CompileService:
             config = request.resolved_config()
             session = self.pool.session(request.target, config)
             overrides = dict(request.binding_overrides) or None
+            tracer = (
+                Tracer(name="compile", request_id=request.request_id)
+                if request.trace
+                else None
+            )
             if request.kernel is not None:
                 program_source = self._kernel_program(request.kernel)
                 result = session.compile(
-                    program_source, name=request.name, binding_overrides=overrides
+                    program_source,
+                    name=request.name,
+                    binding_overrides=overrides,
+                    tracer=tracer,
                 )
             else:
                 result = session.compile(
-                    request.source, name=name, binding_overrides=overrides
+                    request.source,
+                    name=name,
+                    binding_overrides=overrides,
+                    tracer=tracer,
                 )
+            elapsed = time.perf_counter() - started
             response = CompileResponse(
                 target=request.target,
                 name=result.name,
                 ok=True,
                 result=result,
                 request_id=request.request_id,
-                elapsed_s=time.perf_counter() - started,
+                elapsed_s=elapsed,
             )
             self._record(request.target, ok=True)
+            log.info(
+                "compile",
+                target=request.target,
+                name=result.name,
+                duration_s=round(elapsed, 6),
+                code_size=result.code_size,
+            )
             return response
         except Exception as error:  # fault isolation: one bad request,
             self._record(request.target, ok=False)  # one error response,
@@ -107,13 +141,22 @@ class CompileService:
                     context="request %r on target %r"
                     % (name or request.display_name(index), request.target),
                 )
+            elapsed = time.perf_counter() - started
+            log.warning(
+                "compile_failed",
+                target=request.target,
+                name=name or request.display_name(index),
+                error_type=type(error).__name__,
+                phase=getattr(error, "phase", "") or "",
+                duration_s=round(elapsed, 6),
+            )
             return CompileResponse(  # never a dead batch
                 target=request.target,
                 name=name or request.display_name(index),
                 ok=False,
                 error=ErrorInfo.from_exception(error),
                 request_id=request.request_id,
-                elapsed_s=time.perf_counter() - started,
+                elapsed_s=elapsed,
             )
 
     @staticmethod

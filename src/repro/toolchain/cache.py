@@ -175,13 +175,17 @@ class RetargetCache:
             max_depth=max_depth,
             max_alternatives=max_alternatives,
         )
+        from repro.obs.trace import current_tracer
+
         cached = self.get(key)
         if cached is not None:
             self.hits += 1
+            current_tracer().instant("retarget_cache:hit", key=key[:12])
             if generate_matcher and cached.matcher_module is None:
                 cached.regenerate_matcher()
             return cached, True
         self.misses += 1
+        current_tracer().instant("retarget_cache:miss", key=key[:12])
         result = retarget(
             hdl_source,
             expansion=expansion,

@@ -37,6 +37,7 @@ from repro.diagnostics import (
 )
 from repro.ir.binding import ResourceBinding
 from repro.ir.program import Program
+from repro.obs.trace import current_tracer
 from repro.opt.pipeline import OptPipeline, OptStats
 from repro.selector.burs import CodeSelector
 
@@ -334,31 +335,35 @@ class SelectionPass(Pass):
                 "unreachable block(s) not selected: %s" % ", ".join(dropped),
                 phase=self.name,
             )
+        tracer = current_tracer()
         for block in reachable:
-            block_statement_codes: List[StatementCode] = []
-            for statement in block.statements:
-                code = select_statement(statement, selector, context.binding)
-                block_statement_codes.append(
-                    StatementCode(
-                        statement=code.statement,
-                        cost=code.cost,
-                        instances=list(code.instances),
+            with tracer.span(
+                "select:block", block=block.name, statements=len(block.statements)
+            ):
+                block_statement_codes: List[StatementCode] = []
+                for statement in block.statements:
+                    code = select_statement(statement, selector, context.binding)
+                    block_statement_codes.append(
+                        StatementCode(
+                            statement=code.statement,
+                            cost=code.cost,
+                            instances=list(code.instances),
+                        )
                     )
+                terminator_code = (
+                    None
+                    if block.terminator is None
+                    else select_terminator(block.terminator, block.name)
                 )
-            terminator_code = (
-                None
-                if block.terminator is None
-                else select_terminator(block.terminator, block.name)
-            )
-            block_code = BlockCode(
-                name=block.name,
-                codes=block_statement_codes,
-                terminator_code=terminator_code,
-            )
-            state.block_codes.append(block_code)
-            # Flat view (same StatementCode objects): what the schedule,
-            # spill and metric layers iterate.
-            state.statement_codes.extend(block_code.all_codes())
+                block_code = BlockCode(
+                    name=block.name,
+                    codes=block_statement_codes,
+                    terminator_code=terminator_code,
+                )
+                state.block_codes.append(block_code)
+                # Flat view (same StatementCode objects): what the schedule,
+                # spill and metric layers iterate.
+                state.statement_codes.extend(block_code.all_codes())
         # Per-run deltas of the (possibly shared) selector's counters;
         # approximate under concurrent compiles against one pooled session,
         # exact otherwise.
@@ -381,6 +386,17 @@ class SchedulingPass(Pass):
     name = "schedule"
 
     def run(self, state: CompilationState, context: PassContext) -> None:
+        if state.block_codes:
+            # Per-block walk over the same StatementCode objects the
+            # flat list aliases (all_codes() includes the terminator
+            # pseudo-code), so scheduling is identical to the flat loop
+            # but attributable per block in a trace.
+            tracer = current_tracer()
+            for block_code in state.block_codes:
+                with tracer.span("schedule:block", block=block_code.name):
+                    for code in block_code.all_codes():
+                        code.instances = schedule_instances(code.instances)
+            return
         for code in state.statement_codes:
             code.instances = schedule_instances(code.instances)
 
@@ -419,7 +435,18 @@ class CompactionPass(Pass):
     def run(self, state: CompilationState, context: PassContext) -> None:
         if is_multi_block(state.block_codes):
             # Multi-block program: per-block packing, labelled words.
-            state.words = compact_blocks(state.block_codes, enabled=self.enabled)
+            # compact_blocks never packs across a block boundary, so
+            # feeding it one block at a time is result-identical and
+            # gives each block its own trace span.
+            tracer = current_tracer()
+            words: List[InstructionWord] = []
+            for block_code in state.block_codes:
+                with tracer.span("compact:block", block=block_code.name) as span:
+                    block_words = compact_blocks([block_code], enabled=self.enabled)
+                    if tracer.enabled:
+                        span.set(words=len(block_words))
+                words.extend(block_words)
+            state.words = words
         else:
             state.words = compact(state.all_instances(), enabled=self.enabled)
 
@@ -440,6 +467,39 @@ class EncodingPass(Pass):
 # ---------------------------------------------------------------------------
 # The manager
 # ---------------------------------------------------------------------------
+
+
+def _pass_span_attributes(name: str, state: CompilationState) -> Dict[str, object]:
+    """Per-pass trace attributes, drawn from the numbers the pipeline
+    already tracks for :class:`~repro.toolchain.results.CompileMetrics`."""
+    if name == "select":
+        stats = state.selection_stats or {}
+        return {
+            "nodes_labelled": int(stats.get("nodes_labelled", 0)),
+            "memo_hit_rate": round(float(stats.get("memo_hit_rate", 0.0)), 4),
+            "blocks": len(state.block_codes),
+        }
+    if name == "opt":
+        stats = state.opt_stats
+        if stats is None:
+            return {}
+        return {
+            "folds": stats.folds + stats.algebraic,
+            "cse_hits": stats.cse_hits,
+            "nodes_before": stats.nodes_before,
+            "nodes_after": stats.nodes_after,
+        }
+    if name == "compact":
+        return {"words": len(state.words)}
+    if name in ("schedule", "spill"):
+        return {
+            "operations": sum(
+                len(code.instances) for code in state.statement_codes
+            )
+        }
+    if name == "encode":
+        return {"encoded": state.encoding is not None}
+    return {}
 
 
 class PassManager:
@@ -505,18 +565,26 @@ class PassManager:
 
             verifier = PipelineVerifier()
         inject = os.environ.get("REPRO_INJECT_FAULT", "")
+        tracer = current_tracer()
         for p in self.passes:
             if verifier is not None:
                 checked = time.perf_counter()
-                verifier.before_pass(p.name, state, context)
+                with tracer.span("verify:%s" % p.name, stage="before"):
+                    verifier.before_pass(p.name, state, context)
                 state.verify_time_s += time.perf_counter() - checked
             started = time.perf_counter()
             try:
-                if inject and inject == p.name:
-                    raise RuntimeError(
-                        "injected fault in pass %r (REPRO_INJECT_FAULT)" % p.name
-                    )
-                p.run(state, context)
+                with tracer.span("pass:%s" % p.name) as span:
+                    if inject and inject == p.name:
+                        raise RuntimeError(
+                            "injected fault in pass %r (REPRO_INJECT_FAULT)" % p.name
+                        )
+                    p.run(state, context)
+                    if tracer.enabled:
+                        span.set(
+                            program=program.name,
+                            **_pass_span_attributes(p.name, state),
+                        )
             except (ReproError, KeyboardInterrupt, SystemExit):
                 raise
             except Exception as error:
@@ -529,7 +597,10 @@ class PassManager:
             state.pass_timings[p.name] = state.pass_timings.get(p.name, 0.0) + elapsed
             if verifier is not None:
                 checked = time.perf_counter()
-                verifier.after_pass(p.name, state, context)
+                with tracer.span("verify:%s" % p.name, stage="after") as span:
+                    verifier.after_pass(p.name, state, context)
+                    if tracer.enabled:
+                        span.set(checks=verifier.checks_run)
                 state.verify_time_s += time.perf_counter() - checked
                 state.verify_checks = verifier.checks_run
         return state

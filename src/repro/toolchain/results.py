@@ -191,6 +191,9 @@ class CompilationResult:
     stored_statements: Optional[Tuple[StatementArtifact, ...]] = field(
         default=None, repr=False
     )
+    # Chrome trace-event export of this compile (``Tracer.to_chrome_trace``)
+    # when the request asked for tracing; None otherwise.
+    trace: Optional[dict] = field(default=None, repr=False, compare=False)
 
     # -- construction ------------------------------------------------------------
 
@@ -202,6 +205,7 @@ class CompilationResult:
         state: CompilationState,
         binding: Optional[ResourceBinding] = None,
         config: Optional[PipelineConfig] = None,
+        trace: Optional[dict] = None,
     ) -> "CompilationResult":
         """Build a result from one finished :class:`CompilationState`."""
         instances = state.all_instances()
@@ -240,6 +244,7 @@ class CompilationResult:
             block_codes=tuple(state.block_codes),
             words=tuple(state.words),
             binding=binding,
+            trace=trace,
         )
 
     # -- scalar compatibility properties ------------------------------------------
@@ -363,7 +368,7 @@ class CompilationResult:
 
     def to_dict(self) -> dict:
         """A lossless, JSON-serializable description of the result."""
-        return {
+        data = {
             "schema": RESULT_SCHEMA_VERSION,
             "name": self.name,
             "processor": self.processor,
@@ -375,6 +380,9 @@ class CompilationResult:
             "listing": self.listing(),
             "encoding": self.encoding,
         }
+        if self.trace is not None:
+            data["trace"] = self.trace
+        return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
@@ -405,6 +413,7 @@ class CompilationResult:
             stored_statements=tuple(
                 StatementArtifact.from_dict(s) for s in data.get("statements", ())
             ),
+            trace=data.get("trace"),
         )
 
     @classmethod

@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Union
 from repro.frontend.lowering import lower_to_program
 from repro.ir.binding import bind_program, default_data_memory
 from repro.ir.program import Program
+from repro.obs.trace import Tracer, use_tracer
 from repro.record.retarget import RetargetResult, retarget
 from repro.toolchain.cache import RetargetCache, default_cache
 from repro.toolchain.passes import (
@@ -104,8 +105,44 @@ class Session:
         self,
         program: Program,
         binding_overrides: Optional[Dict[str, str]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> CompilationResult:
-        """Run the configured pass pipeline on an IR program."""
+        """Run the configured pass pipeline on an IR program.
+
+        With an explicit ``tracer`` the whole compile runs under it (a
+        ``compile`` root span wraps binding and every pipeline pass) and
+        the result carries the exported Chrome trace in ``.trace``.
+        Without one, spans still flow to whatever ambient tracer
+        :func:`repro.obs.trace.use_tracer` installed -- but ``.trace``
+        stays ``None``; the caller owning the tracer exports it.
+        """
+        if tracer is not None:
+            with use_tracer(tracer):
+                with tracer.span(
+                    "compile", program=program.name, target=self.processor
+                ):
+                    state, binding = self._run_pipeline(
+                        program, binding_overrides
+                    )
+            trace = tracer.to_chrome_trace(
+                process_name="repro compile %s" % self.processor
+            )
+        else:
+            state, binding = self._run_pipeline(program, binding_overrides)
+            trace = None
+        # state.program is the program the backend actually selected --
+        # the optimizer's fresh rewrite when the opt pass ran (it never
+        # aliases the caller's program), the input program otherwise.
+        return CompilationResult.from_state(
+            program=state.program,
+            processor=self.processor,
+            state=state,
+            binding=binding,
+            config=self.config,
+            trace=trace,
+        )
+
+    def _run_pipeline(self, program, binding_overrides):
         binding = bind_program(
             program,
             self.retarget_result.netlist,
@@ -119,22 +156,14 @@ class Session:
             config=self.config,
         )
         state: CompilationState = self.pass_manager.run(program, context)
-        # state.program is the program the backend actually selected --
-        # the optimizer's fresh rewrite when the opt pass ran (it never
-        # aliases the caller's program), the input program otherwise.
-        return CompilationResult.from_state(
-            program=state.program,
-            processor=self.processor,
-            state=state,
-            binding=binding,
-            config=self.config,
-        )
+        return state, binding
 
     def compile(
         self,
         source: Source,
         name: Optional[str] = None,
         binding_overrides: Optional[Dict[str, str]] = None,
+        tracer: Optional[Tracer] = None,
     ) -> CompilationResult:
         """Compile source text (or an already lowered IR program).
 
@@ -149,7 +178,9 @@ class Session:
                 program = dataclass_replace(program, name=name)
         else:
             program = lower_to_program(source, name=name or "program")
-        return self.compile_program(program, binding_overrides=binding_overrides)
+        return self.compile_program(
+            program, binding_overrides=binding_overrides, tracer=tracer
+        )
 
     def compile_many(
         self,

@@ -604,3 +604,50 @@ class TestMetricsUnits:
 
         metrics = ServerMetrics(backend_stats=broken)
         assert "repro_uptime_seconds" in metrics.render()
+
+    def test_compiles_per_second_decays_to_zero_after_traffic_stops(self):
+        # Regression: the trailing-window rate must read exactly 0.0 at
+        # scrape time once the window empties, not the last busy value.
+        clock = [1000.0]
+        metrics = ServerMetrics(rate_window_s=60.0, clock=lambda: clock[0])
+        for _ in range(6):
+            clock[0] += 1.0
+            metrics.record_compile({"target": "demo", "ok": True, "elapsed_s": 0.01})
+        busy = metrics.compiles_per_second()
+        assert busy > 0.0
+        clock[0] += 61.0  # one window past the last completion
+        assert metrics.compiles_per_second() == 0.0
+        assert "repro_compiles_per_second 0.0" in metrics.render()
+        assert metrics.snapshot()["compiles_per_second"] == 0.0
+
+    def test_per_worker_stats_render_as_labelled_gauges(self):
+        stats = {
+            "workers": 2,
+            "per_worker": [
+                {"worker": "g0", "pid": 11, "completed": 5, "failed": 1},
+                {"worker": "g1", "pid": 12, "completed": 3, "failed": 0},
+            ],
+        }
+        metrics = ServerMetrics(backend_stats=lambda: stats)
+        text = metrics.render()
+        assert 'repro_worker_requests_total{status="ok",worker="g0"} 5' in text
+        assert 'repro_worker_requests_total{status="error",worker="g0"} 1' in text
+        assert 'repro_worker_requests_total{status="ok",worker="g1"} 3' in text
+
+    def test_target_phase_breakdown_accumulates(self):
+        metrics = ServerMetrics()
+        for _ in range(2):
+            metrics.record_compile(
+                {
+                    "target": "tms320c25",
+                    "ok": True,
+                    "elapsed_s": 0.02,
+                    "result": {"pass_timings": {"select": 0.25, "opt": 0.05}},
+                }
+            )
+        text = metrics.render()
+        assert (
+            'repro_target_phase_seconds_total{phase="select",target="tms320c25"} 0.5'
+            in text
+        )
+        assert 'repro_phase_seconds_count{phase="opt"} 2' in text
