@@ -29,6 +29,16 @@ from repro.analysis.dominators import (
 )
 from repro.analysis.lints import lint_grammar, lint_target
 from repro.analysis.liveness import LivenessResult, liveness
+from repro.analysis.loops import (
+    LoopNestingForest,
+    NaturalLoop,
+    back_edges,
+    insert_preheaders,
+    loop_nesting_forest,
+    naive_back_edges,
+    natural_loops,
+    render_forest,
+)
 from repro.analysis.reaching import (
     Definition,
     ReachingResult,
@@ -59,6 +69,14 @@ __all__ = [
     "dominates",
     "LivenessResult",
     "liveness",
+    "NaturalLoop",
+    "LoopNestingForest",
+    "back_edges",
+    "naive_back_edges",
+    "natural_loops",
+    "loop_nesting_forest",
+    "insert_preheaders",
+    "render_forest",
     "Definition",
     "ReachingResult",
     "reaching_definitions",

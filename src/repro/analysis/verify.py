@@ -40,9 +40,14 @@ from repro.analysis.cfg import ControlFlowGraph
 from repro.analysis.reaching import possibly_uninitialized_uses
 from repro.diagnostics import Diagnostic, ReproError
 
-#: Reserved prefix of optimizer-introduced temporaries (mirrors
-#: ``repro.opt.cse.TEMP_PREFIX``; duplicated literal to keep this module
-#: importable without the optimizer).
+#: Reserved prefixes of optimizer-introduced temporaries (mirrors
+#: ``repro.opt.cse.OPT_TEMP_PREFIXES``; duplicated literals to keep this
+#: module importable without the optimizer).  Every check taking a
+#: ``temp_prefix`` accepts a single prefix or a tuple (the membership
+#: tests go through ``str.startswith``, which takes both).
+RESERVED_TEMP_PREFIXES = ("__cse", "__licm", "__sr")
+
+#: Backward-compatible single-prefix alias.
 RESERVED_TEMP_PREFIX = "__cse"
 
 #: Kinds counted as spill traffic (mirrors ``repro.codegen.spill.SPILL_KINDS``).
@@ -223,7 +228,7 @@ def snapshot_program_ids(program) -> Set[int]:
 def check_optimized_program(
     program,
     before_ids: Optional[Set[int]] = None,
-    temp_prefix: str = RESERVED_TEMP_PREFIX,
+    temp_prefix=RESERVED_TEMP_PREFIXES,
 ) -> List[Finding]:
     """Optimizer-output discipline.
 
@@ -231,8 +236,10 @@ def check_optimized_program(
     nodes -- rebuilt trees cache DAG-identical subtrees -- but sharing
     *across* statements would let a later rewrite corrupt an unrelated
     statement, and sharing with the pre-optimization input would break
-    the pass-owns-its-state contract.  Reserved ``__cse*`` temporaries
-    must be definitely assigned before every read.
+    the pass-owns-its-state contract.  Reserved optimizer temporaries
+    (``__cse*``, ``__licm*``, ``__sr*``) must be definitely assigned
+    before every read -- in particular a ``__licm*`` definition must
+    dominate the loop it was hoisted out of (preheader discipline).
     """
     findings: List[Finding] = []
     owner: Dict[int, str] = {}
@@ -895,7 +902,7 @@ class PipelineVerifier:
     def __init__(
         self,
         registers: Optional[Set[str]] = None,
-        temp_prefix: str = RESERVED_TEMP_PREFIX,
+        temp_prefix=RESERVED_TEMP_PREFIXES,
     ):
         self._registers = registers
         self._temp_prefix = temp_prefix

@@ -219,7 +219,7 @@ def _cmd_compile(args) -> int:
 def _cmd_opt(args) -> int:
     """Run the (target-independent) IR optimizer and print before/after."""
     from repro.frontend.lowering import lower_to_program
-    from repro.opt import OptPipeline
+    from repro.opt import OptPipeline, copy_program
 
     if args.kernel:
         program = kernel_program(args.kernel)
@@ -239,7 +239,11 @@ def _cmd_opt(args) -> int:
         pipeline = OptPipeline(stages=stages)
     except ReproError as error:
         raise SystemExit("error: %s" % error_report(error))
-    optimized, stats = pipeline.run(program)
+    snapshots = []
+    optimized, stats = pipeline.run(
+        program,
+        observer=lambda stage, prog: snapshots.append((stage, copy_program(prog))),
+    )
 
     def _print_program(prog) -> None:
         multi_block = not prog.is_straight_line()
@@ -255,13 +259,65 @@ def _cmd_opt(args) -> int:
     print("== before (%d statements, %d IR nodes) ==" % (
         stats.statements_before, stats.nodes_before))
     _print_program(program)
+
+    if not program.is_straight_line():
+        from repro.analysis import (
+            ControlFlowGraph,
+            loop_nesting_forest,
+            render_forest,
+        )
+
+        forest = loop_nesting_forest(ControlFlowGraph.from_program(program))
+        if forest.loops:
+            print("== loop nesting forest ==")
+            for line in render_forest(forest):
+                print("  %s" % line)
+
+    def _signature(prog):
+        return {
+            block.name: [str(statement) for statement in block.statements]
+            for block in prog.blocks
+        }
+
+    print("== stages ==")
+    previous = _signature(program)
+    for stage, prog in snapshots:
+        changes = []
+        for block in prog.blocks:
+            if block.name not in previous:
+                changes.append(
+                    "+%s (%d statement(s))" % (block.name, len(block.statements))
+                )
+            elif _signature(prog)[block.name] != previous[block.name]:
+                changes.append(
+                    "%s: %d -> %d statement(s)"
+                    % (
+                        block.name,
+                        len(previous[block.name]),
+                        len(block.statements),
+                    )
+                )
+        current_names = {block.name for block in prog.blocks}
+        for name in previous:
+            if name not in current_names:
+                changes.append("-%s" % name)
+        print("  %-6s %s" % (stage, "; ".join(changes) if changes else "(no change)"))
+        previous = _signature(prog)
+
     print("== after (%d statements, %d IR nodes) ==" % (
         stats.statements_after, stats.nodes_after))
     _print_program(optimized)
+    if optimized.hw_loops:
+        for latch, hw in sorted(optimized.hw_loops.items()):
+            print("  ; hardware loop: %s x%d (%s)" % (latch, hw.trip_count, hw.kind))
     print("stats: %d fold(s), %d algebraic rewrite(s), %d cse hit(s), "
           "%d temp(s) introduced, %d dead temp(s) removed" % (
               stats.folds, stats.algebraic, stats.cse_hits,
               stats.temps_introduced, stats.dead_removed))
+    print("global: %d gvn hit(s), %d loop(s) rotated, %d licm hoist(s), "
+          "%d strength reduction(s), %d hardware loop(s)" % (
+              stats.gvn_hits, stats.loops_rotated, stats.licm_hoisted,
+              stats.strength_reductions, stats.hw_loops))
     for rule in sorted(stats.rewrites):
         print("    %-18s %4d" % (rule, stats.rewrites[rule]))
     return 0
@@ -443,6 +499,7 @@ def _cmd_trace(args) -> int:
 def _cmd_fuzz(args) -> int:
     """Run a differential fuzzing campaign (see :mod:`repro.fuzz`)."""
     from repro.fuzz import run_campaign, save_finding
+    from repro.fuzz.generator import GENERATOR_PROFILES
 
     targets = None
     if args.targets:
@@ -461,6 +518,7 @@ def _cmd_fuzz(args) -> int:
             budget=args.budget,
             targets=targets,
             oracles=oracles,
+            generator_config=GENERATOR_PROFILES[args.generator],
             minimize=not args.no_minimize,
             toolchain=Toolchain(cache=_cache_from_args(args)),
             verify=True if args.verify else None,
@@ -768,6 +826,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz_parser.add_argument(
         "--oracle", metavar="LIST",
         help="comma-separated oracle subset: sim, opt, matcher (default: all)",
+    )
+    fuzz_parser.add_argument(
+        "--generator", choices=("default", "loops"), default="default",
+        help="generator profile: 'loops' produces loop-dominated programs "
+             "aimed at the rotation/LICM/hardware-loop pipeline",
     )
     fuzz_parser.add_argument(
         "--no-minimize", action="store_true",

@@ -32,8 +32,11 @@ class CodeGenerationError(ReproError):
 #: Instance kinds that transfer control rather than data.  They are
 #: pinned at block boundaries: the scheduler never reorders them, the
 #: spill pass passes them through, and the compactor treats them as
-#: packing barriers.
-CONTROL_KINDS = ("jump", "cbranch")
+#: packing barriers.  ``"repeat"`` is the hardware-loop form of a
+#: counted latch branch (TMS320C25 ``RPT``/``RPTK`` style): the loop
+#: counter lives in dedicated hardware, so no condition is evaluated on
+#: the data path.
+CONTROL_KINDS = ("jump", "cbranch", "repeat")
 
 #: Pseudo storage written by control transfers.
 PC_STORAGE = "@pc"
@@ -65,9 +68,14 @@ class RTInstance:
     # Runtime index expression of a dynamic array store ("a[i] = ..."):
     # the defined element of array ``defines_variable``.
     defines_index: Optional[IRNode] = None
-    # Control-transfer payload (kind "jump"/"cbranch").
+    # Control-transfer payload (kind "jump"/"cbranch"/"repeat").
     targets: Tuple[str, ...] = ()
     condition: Optional[IRNode] = None
+    # Hardware-loop payload (kind "repeat"): the block re-entered while
+    # the dedicated loop counter has iterations left, and the total trip
+    # count loaded into it on loop entry.
+    repeat_body: str = ""
+    repeat_count: int = 0
 
     def is_control(self) -> bool:
         return self.kind in CONTROL_KINDS
@@ -83,6 +91,13 @@ class RTInstance:
                 self.condition,
                 self.targets[0],
                 self.targets[1],
+            )
+        if self.kind == "repeat":
+            exits = [t for t in self.targets if t != self.repeat_body]
+            return "repeat %s x%d then %s" % (
+                self.repeat_body,
+                self.repeat_count,
+                exits[0] if exits else "halt",
             )
         if self.kind != "rt":
             return "%s %s (%s)" % (self.kind, self.result_id, self.result_storage)
@@ -378,13 +393,23 @@ def select_statement(
     return StatementCode(statement=statement, cost=result.cost, instances=instances)
 
 
-def select_terminator(terminator: Terminator, block_name: str) -> StatementCode:
+def select_terminator(
+    terminator: Terminator, block_name: str, hardware_loop=None
+) -> StatementCode:
     """The control-transfer pseudo-code for a block terminator.
 
     Branches are not covered by the data-path tree grammar: the target
     machines execute them on dedicated branch/condition logic, so the
     terminator maps 1:1 onto one ``jump``/``cbranch`` instance pinned at
-    the block end (it still occupies an instruction word)."""
+    the block end (it still occupies an instruction word).
+
+    When ``hardware_loop`` (a :class:`~repro.ir.program.HardwareLoop`
+    annotating this block as a counted latch) is given and the target
+    supports it, the conditional latch branch lowers to a ``repeat``
+    instance instead: the trip count is loaded into the dedicated loop
+    counter and no condition is evaluated on the data path.  The
+    instance keeps ``targets == terminator.targets()`` so the pipeline
+    verifier's terminator invariant holds on both lowerings."""
     if isinstance(terminator, Jump):
         instance = RTInstance(
             kind="jump",
@@ -393,13 +418,27 @@ def select_terminator(terminator: Terminator, block_name: str) -> StatementCode:
             targets=(terminator.target,),
         )
     elif isinstance(terminator, CBranch):
-        instance = RTInstance(
-            kind="cbranch",
-            result_id="br:%s" % block_name,
-            result_storage=PC_STORAGE,
-            targets=(terminator.true_target, terminator.false_target),
-            condition=terminator.condition,
-        )
+        if hardware_loop is not None and block_name in (
+            terminator.true_target,
+            terminator.false_target,
+        ):
+            instance = RTInstance(
+                kind="repeat",
+                result_id="br:%s" % block_name,
+                result_storage=PC_STORAGE,
+                targets=(terminator.true_target, terminator.false_target),
+                condition=terminator.condition,
+                repeat_body=block_name,
+                repeat_count=hardware_loop.trip_count,
+            )
+        else:
+            instance = RTInstance(
+                kind="cbranch",
+                result_id="br:%s" % block_name,
+                result_storage=PC_STORAGE,
+                targets=(terminator.true_target, terminator.false_target),
+                condition=terminator.condition,
+            )
     else:
         raise CodeGenerationError(
             "unknown terminator %r in block %r"
@@ -417,13 +456,17 @@ def select_block(
 
 
 def select_block_code(
-    block: BasicBlock, selector: CodeSelector, binding: ResourceBinding
+    block: BasicBlock,
+    selector: CodeSelector,
+    binding: ResourceBinding,
+    hardware_loop=None,
 ) -> BlockCode:
-    """Select a whole basic block including its terminator pseudo-code."""
+    """Select a whole basic block including its terminator pseudo-code
+    (``hardware_loop`` flows through to :func:`select_terminator`)."""
     codes = select_block(block, selector, binding)
     terminator_code = (
         None
         if block.terminator is None
-        else select_terminator(block.terminator, block.name)
+        else select_terminator(block.terminator, block.name, hardware_loop)
     )
     return BlockCode(name=block.name, codes=codes, terminator_code=terminator_code)

@@ -65,11 +65,14 @@ class GeneratorConfig:
     max_expr_depth: int = 3
     max_loop_trip: int = 5
     max_constant: int = 99
-    #: probability weights of statement kinds at depth < max_block_depth
-    assign_weight: float = 0.62
-    if_weight: float = 0.16
-    while_weight: float = 0.14
-    do_while_weight: float = 0.08
+    #: probability weights of statement kinds at depth < max_block_depth.
+    #: Loops are weighted up relative to the original campaign: the
+    #: global optimizer (rotation, LICM, hardware loops) lives on loop
+    #: shapes, so they must be common enough to exercise every round.
+    assign_weight: float = 0.56
+    if_weight: float = 0.14
+    while_weight: float = 0.18
+    do_while_weight: float = 0.12
     #: probability of the rarer operator classes inside expressions
     bitwise_probability: float = 0.10
     shift_probability: float = 0.0
@@ -80,6 +83,22 @@ class GeneratorConfig:
 
 
 DEFAULT_CONFIG = GeneratorConfig()
+
+#: The ``loops`` generator knob: loop-dominated programs (counted
+#: ``while``/``do``-``while`` shapes roughly half of all statements)
+#: aimed squarely at the rotation/LICM/hardware-loop pipeline.
+LOOP_HEAVY_CONFIG = GeneratorConfig(
+    assign_weight=0.40,
+    if_weight=0.10,
+    while_weight=0.30,
+    do_while_weight=0.20,
+)
+
+#: Named generator configurations selectable from the CLI.
+GENERATOR_PROFILES = {
+    "default": DEFAULT_CONFIG,
+    "loops": LOOP_HEAVY_CONFIG,
+}
 
 _CORE_OPS = ("+", "-", "*")
 _BITWISE_OPS = ("&", "|", "^")

@@ -20,7 +20,7 @@ from typing import Dict, Optional
 from repro.diagnostics import InternalCompilerError, ReproError
 from repro.hdl.ast import ModuleKind
 from repro.ir.program import Program
-from repro.opt import TEMP_PREFIX
+from repro.opt import OPT_TEMP_PREFIXES
 from repro.selector.burs import CodeSelector
 from repro.sim.rtsim import RTSimulator
 from repro.toolchain import PipelineConfig, Session, Toolchain
@@ -126,7 +126,7 @@ def observables(environment: Dict[str, int]) -> Dict[str, int]:
     return {
         key: value
         for key, value in environment.items()
-        if not key.startswith(TEMP_PREFIX)
+        if not key.startswith(OPT_TEMP_PREFIXES)
     }
 
 

@@ -33,6 +33,7 @@ from repro.ir.expr import (
 from repro.ir.program import (
     BasicBlock,
     CBranch,
+    HardwareLoop,
     Jump,
     MultiBlockError,
     Program,
@@ -47,6 +48,7 @@ __all__ = [
     "BasicBlock",
     "CBranch",
     "Const",
+    "HardwareLoop",
     "IRExpr",
     "IRNode",
     "Jump",

@@ -182,6 +182,36 @@ class BasicBlock:
 # ---------------------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class HardwareLoop:
+    """Loop metadata attached to a :class:`Program` by the optimizer.
+
+    Describes one *counted single-block self-loop*: block ``latch`` ends
+    in a conditional branch back to itself whose trip behaviour is fully
+    decided at compile time -- every entry into the block executes its
+    body exactly ``trip_count`` times before falling through to the exit
+    target.  Backends whose target models zero-overhead looping (the
+    TMS320C25 ``RPT``/``RPTK`` repeat mechanism) may lower the branch as
+    a repeat instruction instead of a test-and-branch; everyone else
+    keeps the ordinary :class:`CBranch` lowering.
+
+    ``kind`` is ``"rpt"`` when the loop body is a single statement (the
+    C25's single-instruction ``RPTK`` shape) and ``"repeat"`` for
+    multi-statement bodies (``RPTB``-style block repeat).
+    """
+
+    latch: str
+    trip_count: int
+    kind: str = "repeat"
+
+    def to_dict(self) -> dict:
+        return {
+            "latch": self.latch,
+            "trip_count": self.trip_count,
+            "kind": self.kind,
+        }
+
+
 @dataclass
 class Program:
     """A complete program: declarations plus a CFG of basic blocks.
@@ -189,7 +219,9 @@ class Program:
     ``scalars`` and ``arrays`` record the declared variables; array entries
     map the array name to its element count.  ``entry`` names the block
     execution starts in (empty string = the first block, which is what the
-    frontend produces).
+    frontend produces).  ``hw_loops`` maps latch block names to
+    :class:`HardwareLoop` annotations (filled in by the optimizer's loop
+    stage; empty everywhere else).
     """
 
     name: str
@@ -197,6 +229,7 @@ class Program:
     scalars: List[str] = field(default_factory=list)
     arrays: Dict[str, int] = field(default_factory=dict)
     entry: str = ""
+    hw_loops: Dict[str, HardwareLoop] = field(default_factory=dict)
 
     # -- CFG structure -----------------------------------------------------------
 

@@ -22,18 +22,35 @@ semantics of :func:`repro.ir.evaluate_expr`.
 from repro.opt.cse import (
     MIN_OCCURRENCES,
     MIN_OPS,
+    OPT_TEMP_PREFIXES,
     TEMP_PREFIX,
     eliminate_common_subexpressions,
     eliminate_dead_temporaries,
     is_temp,
 )
-from repro.opt.dag import DAGNode, ExprDAG, ProgramDAG, build_block_dag
+from repro.opt.dag import (
+    DAGNode,
+    ExprDAG,
+    GlobalProgramDAG,
+    ProgramDAG,
+    build_block_dag,
+)
 from repro.opt.fold import (
     FOLD_RULES,
     contains_port_read,
     fold_expr,
     fold_statement,
     structurally_equal,
+)
+from repro.opt.gvn import global_value_numbering
+from repro.opt.licm import LICM_TEMP_PREFIX, hoist_loop_invariants
+from repro.opt.loops import (
+    SR_TEMP_PREFIX,
+    CountedLoop,
+    annotate_hardware_loops,
+    find_counted_loops,
+    rotate_counted_loops,
+    strength_reduce,
 )
 from repro.opt.pipeline import (
     OptimizationError,
@@ -44,24 +61,34 @@ from repro.opt.pipeline import (
 )
 
 __all__ = [
+    "CountedLoop",
     "DAGNode",
     "ExprDAG",
     "FOLD_RULES",
+    "GlobalProgramDAG",
+    "LICM_TEMP_PREFIX",
     "MIN_OCCURRENCES",
     "MIN_OPS",
+    "OPT_TEMP_PREFIXES",
     "OptPipeline",
     "OptStats",
     "OptimizationError",
     "ProgramDAG",
+    "SR_TEMP_PREFIX",
     "TEMP_PREFIX",
+    "annotate_hardware_loops",
     "build_block_dag",
     "contains_port_read",
     "copy_program",
     "eliminate_common_subexpressions",
     "eliminate_dead_temporaries",
+    "find_counted_loops",
     "fold_expr",
     "fold_statement",
+    "global_value_numbering",
+    "hoist_loop_invariants",
     "is_temp",
     "optimize_program",
-    "structurally_equal",
+    "rotate_counted_loops",
+    "strength_reduce",
 ]

@@ -43,6 +43,13 @@ from repro.opt.dag import (
 #: Prefix of compiler-generated CSE temporaries.
 TEMP_PREFIX = "__cse"
 
+#: Every prefix any optimizer stage materializes temporaries under:
+#: CSE/GVN (``__cse``), loop-invariant code motion (``__licm``) and
+#: strength reduction (``__sr``).  Observability filters (the fuzz
+#: oracles, the differential suites, the pipeline verifier) treat all
+#: three as compiler-internal names.
+OPT_TEMP_PREFIXES = ("__cse", "__licm", "__sr")
+
 #: Default materialization thresholds: a candidate must occur at least
 #: twice and contain at least two operator nodes, so the temporary's
 #: store/load traffic is paid for by whole re-computations saved.

@@ -1,0 +1,328 @@
+"""Loop-invariant code motion into preheaders.
+
+LICM operates on *single-block self-loops* (a block whose conditional
+branch targets itself) -- the shape every rotated counted loop and every
+``do``-``while`` takes.  Entering such a block executes its body at
+least once, so moving invariant work in front of the loop can never
+execute code the original program would have skipped (the classic
+zero-trip hazard of hoisting out of ``while`` loops does not arise).
+
+Two kinds of motion, both into the loop's preheader (the landing pad
+:func:`repro.analysis.loops.insert_preheaders` reuses or creates):
+
+* **statement hoisting** -- a statement assigning a plain scalar exactly
+  once in the loop, reading only loop-invariant values, not read earlier
+  in the block, moves wholesale.  Pure motion: never adds code;
+* **subexpression hoisting** -- an invariant operator subtree with at
+  least :data:`~repro.opt.cse.MIN_OPS` operators occurring at least
+  twice in data-path position is materialized into a ``__licm*``
+  temporary defined in the preheader.  Address-context occurrences
+  (:class:`~repro.ir.expr.ArrayRef` indices) never justify a hoist on
+  their own -- the address generator evaluates them for free.
+
+A *created* preheader costs one jump word, so creation is gated on at
+least two planned hoists; a reused preheader (the loop's sole outside
+predecessor already ends in an unconditional jump) accepts any number.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.loops import (
+    LoopNestingForest,
+    insert_preheaders,
+    loop_nesting_forest,
+)
+from repro.ir.expr import (
+    ArrayRef,
+    Const,
+    IRNode,
+    Op,
+    PortInput,
+    VarRef,
+    expr_size,
+    expr_variables,
+)
+from repro.ir.program import BasicBlock, CBranch, Jump, Program, Statement
+from repro.opt.cse import MIN_OCCURRENCES, MIN_OPS
+from repro.opt.dag import copy_expr
+
+#: Prefix of loop-invariant code motion temporaries.
+LICM_TEMP_PREFIX = "__licm"
+
+
+def _is_plain_scalar(name: str) -> bool:
+    return not name.startswith("@") and "[" not in name
+
+
+def _base_array(name: str) -> Optional[str]:
+    bracket = name.find("[")
+    return name[:bracket] if bracket > 0 else None
+
+
+def _block_effects(block: BasicBlock) -> Tuple[Set[str], Set[str], Set[str]]:
+    """``(defined, dynamic_arrays, stored_arrays)`` of one block:
+    destination names written, arrays hit by runtime-indexed stores, and
+    arrays hit by any store at all."""
+    defined: Set[str] = set()
+    dynamic: Set[str] = set()
+    stored: Set[str] = set()
+    for statement in block.statements:
+        if statement.destination_index is not None:
+            dynamic.add(statement.destination)
+            stored.add(statement.destination)
+        else:
+            defined.add(statement.destination)
+            base = _base_array(statement.destination)
+            if base is not None:
+                stored.add(base)
+    return defined, dynamic, stored
+
+
+def _invariant(
+    expr: IRNode, defined: Set[str], dynamic: Set[str], stored: Set[str]
+) -> bool:
+    """True when no leaf of ``expr`` can observe a write the loop body
+    performs (ports are excluded outright: port reads are never moved)."""
+    stack: List[IRNode] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Const):
+            continue
+        if isinstance(node, PortInput):
+            return False
+        if isinstance(node, VarRef):
+            if node.name in defined:
+                return False
+            base = _base_array(node.name)
+            if base is not None and base in dynamic:
+                return False
+            continue
+        if isinstance(node, ArrayRef):
+            if node.name in stored:
+                return False
+            stack.append(node.index)
+            continue
+        if isinstance(node, Op):
+            stack.extend(node.operands)
+            continue
+        return False
+    return True
+
+
+def _op_count(expr: IRNode) -> int:
+    count = 0
+    stack: List[IRNode] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Op):
+            count += 1
+        stack.extend(node.children())
+    return count
+
+
+def _self_loops(program: Program, cfg: ControlFlowGraph) -> List[str]:
+    forest: LoopNestingForest = loop_nesting_forest(cfg)
+    return [
+        header
+        for header, loop in forest.loops.items()
+        if len(loop.blocks) == 1
+        and isinstance(program.block(header).terminator, CBranch)
+    ]
+
+
+def _statement_hoists(block: BasicBlock) -> List[int]:
+    """Indices of statements hoistable *right now* (first fixpoint round:
+    callers re-invoke after each move)."""
+    defined, dynamic, stored = _block_effects(block)
+    def_counts: Dict[str, int] = {}
+    for statement in block.statements:
+        if statement.destination_index is None:
+            def_counts[statement.destination] = (
+                def_counts.get(statement.destination, 0) + 1
+            )
+    hoists: List[int] = []
+    read_so_far: Set[str] = set()
+    for index, statement in enumerate(block.statements):
+        destination = statement.destination
+        eligible = (
+            statement.destination_index is None
+            and _is_plain_scalar(destination)
+            and not destination.startswith("@")
+            and def_counts.get(destination) == 1
+            and destination not in read_so_far
+            and _invariant(statement.expression, defined, dynamic, stored)
+        )
+        if eligible:
+            hoists.append(index)
+        read_so_far.update(expr_variables(statement.expression))
+        if statement.destination_index is not None:
+            read_so_far.update(expr_variables(statement.destination_index))
+    return hoists
+
+
+def _subexpr_candidates(
+    block: BasicBlock,
+    min_occurrences: int = MIN_OCCURRENCES,
+    min_ops: int = MIN_OPS,
+) -> List[Tuple[str, IRNode, int]]:
+    """Invariant operator subtrees worth a ``__licm*`` temporary:
+    ``(key, representative, occurrences)`` with data-path occurrence
+    counts, largest subtrees first."""
+    defined, dynamic, stored = _block_effects(block)
+    counts: Dict[str, int] = {}
+    reps: Dict[str, IRNode] = {}
+    for statement in block.statements:
+        stack: List[Tuple[IRNode, bool]] = [(statement.expression, False)]
+        if statement.destination_index is not None:
+            stack.append((statement.destination_index, True))
+        while stack:
+            node, in_address = stack.pop()
+            if isinstance(node, ArrayRef):
+                stack.append((node.index, True))
+                continue
+            if isinstance(node, Op):
+                if (
+                    not in_address
+                    and _op_count(node) >= min_ops
+                    and _invariant(node, defined, dynamic, stored)
+                ):
+                    key = str(node)
+                    counts[key] = counts.get(key, 0) + 1
+                    reps.setdefault(key, node)
+                for operand in node.operands:
+                    stack.append((operand, in_address))
+                continue
+    ordered = [
+        (key, reps[key], count)
+        for key, count in counts.items()
+        if count >= min_occurrences
+    ]
+    ordered.sort(key=lambda item: (-expr_size(item[1]), item[0]))
+    return ordered
+
+
+def _replace_equal(expr: IRNode, pattern: IRNode, temp: str) -> IRNode:
+    if expr == pattern:
+        return VarRef(temp)
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(expr.name, _replace_equal(expr.index, pattern, temp))
+    if isinstance(expr, Op):
+        return Op(
+            expr.op,
+            tuple(_replace_equal(operand, pattern, temp) for operand in expr.operands),
+        )
+    return expr
+
+
+def hoist_loop_invariants(
+    program: Program,
+    counters: Optional[Dict[str, int]] = None,
+    temp_prefix: str = LICM_TEMP_PREFIX,
+) -> Set[str]:
+    """Hoist loop-invariant statements and subexpressions of every
+    single-block self-loop into its preheader (mutating ``program``).
+    Returns the ``__licm*`` temporaries introduced; ``counters``
+    accumulates ``licm_hoisted`` (statements moved plus temporaries
+    materialized)."""
+    stats = counters if counters is not None else {}
+    stats.setdefault("licm_hoisted", 0)
+    introduced: Set[str] = set()
+    reserved = set(program.all_variables()) | set(program.scalars)
+    serial = [0]
+
+    def alloc_temp() -> str:
+        while True:
+            name = "%s%d" % (temp_prefix, serial[0])
+            serial[0] += 1
+            if name not in reserved:
+                reserved.add(name)
+                return name
+
+    cfg = ControlFlowGraph.from_program(program)
+    if not cfg.names:
+        return introduced
+    for header in _self_loops(program, cfg):
+        block = program.block(header)
+
+        # Plan: how many hoists would land in the preheader?  Statement
+        # hoists are simulated to fixpoint on a scratch copy of the
+        # statement list; each subexpression candidate adds one.
+        scratch = BasicBlock(
+            name=block.name,
+            statements=list(block.statements),
+            terminator=block.terminator,
+        )
+        planned = 0
+        while True:
+            hoists = _statement_hoists(scratch)
+            if not hoists:
+                break
+            del scratch.statements[hoists[0]]
+            planned += 1
+        planned += len(_subexpr_candidates(scratch))
+        if not planned:
+            continue
+
+        outside = [
+            pred for pred in cfg.predecessors.get(header, ()) if pred != header
+        ]
+        reusable = (
+            len(outside) == 1
+            and header != program.entry_block_name()
+            and isinstance(program.block(outside[0]).terminator, Jump)
+        )
+        if not reusable and planned < 2:
+            # A created preheader costs a jump word; one hoisted
+            # statement cannot pay for it.
+            continue
+        forest = loop_nesting_forest(ControlFlowGraph.from_program(program))
+        mini = LoopNestingForest()
+        mini.loops[header] = forest.loops[header]
+        mini.roots = [header]
+        mini.children = {header: []}
+        preheader_name = insert_preheaders(program, mini)[header]
+        preheader = program.block(preheader_name)
+
+        # Statement hoisting to fixpoint (each move may unlock the next).
+        while True:
+            hoists = _statement_hoists(block)
+            if not hoists:
+                break
+            statement = block.statements.pop(hoists[0])
+            preheader.statements.append(statement)
+            stats["licm_hoisted"] += 1
+
+        # Subexpression hoisting, largest candidates first, re-scanned
+        # after every materialization.
+        while True:
+            candidates = _subexpr_candidates(block)
+            if not candidates:
+                break
+            _key, pattern, _count = candidates[0]
+            temp = alloc_temp()
+            preheader.statements.append(
+                Statement(destination=temp, expression=copy_expr(pattern))
+            )
+            for index, statement in enumerate(block.statements):
+                expression = _replace_equal(statement.expression, pattern, temp)
+                destination_index = statement.destination_index
+                if destination_index is not None:
+                    destination_index = _replace_equal(
+                        destination_index, pattern, temp
+                    )
+                block.statements[index] = Statement(
+                    destination=statement.destination,
+                    expression=expression,
+                    destination_index=destination_index,
+                )
+            introduced.add(temp)
+            if temp not in program.scalars:
+                program.scalars.append(temp)
+            stats["licm_hoisted"] += 1
+        # The CFG gained a block if a preheader was created; refresh for
+        # the remaining loops.
+        cfg = ControlFlowGraph.from_program(program)
+    return introduced

@@ -1,0 +1,561 @@
+"""Counted-loop recognition, loop rotation and strength reduction.
+
+The DSPStone loop kernels all share one shape after frontend lowering: an
+induction variable initialized to a constant, stepped by a constant once
+per iteration, and tested by the sole loop condition.  This module
+recognizes that shape (:func:`find_counted_loops`), proves the exact trip
+count by evaluating the induction recurrence with the reference
+semantics, and applies two transformations:
+
+* **rotation** -- a ``while``-form loop (empty header testing the
+  condition, single latch jumping back) whose trip count is proven >= 1
+  is rewritten into ``do``-``while`` form: the latch takes over the
+  conditional branch and the header block disappears.  One branch word
+  less per loop, and the surviving single-block self-loop is exactly the
+  shape the TMS320C25 repeat mechanism wants;
+* **strength reduction** -- multiplications of the induction variable by
+  a loop constant (``i * k``, the dynamic ``a[i]``-style address
+  arithmetic scaled accesses produce) are replaced by a ``__sr*``
+  temporary maintained incrementally (initialized next to the induction
+  variable's constant init, stepped right after its update).  Gated on
+  at least two *data-path* occurrences so the added init/update
+  statements are always paid for.
+
+:func:`annotate_hardware_loops` re-recognizes counted single-block
+self-loops on the final optimized program and returns the
+:class:`~repro.ir.program.HardwareLoop` annotations the backend's
+repeat-instruction lowering consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.loops import loop_nesting_forest
+from repro.ir.expr import (
+    Const,
+    IRNode,
+    Op,
+    VarRef,
+    evaluate_expr,
+    expr_variables,
+    wrap_word,
+)
+from repro.ir.program import CBranch, HardwareLoop, Jump, Program, Statement
+
+#: Prefix of strength-reduction temporaries.
+SR_TEMP_PREFIX = "__sr"
+
+#: Cap on trip-count evaluation steps.  Word-wrapped induction values
+#: revisit a value within 2**16 steps, so exceeding this means the
+#: condition never exits and the loop is not counted.
+TRIP_LIMIT = 1 << 17
+
+#: Minimum data-path occurrences of ``i * k`` for strength reduction --
+#: the reduced form spends one init and one update statement, so fewer
+#: than two eliminated multiplies could grow the code.
+SR_MIN_OCCURRENCES = 2
+
+
+@dataclass(frozen=True)
+class CountedLoop:
+    """One recognized counted loop with its proven trip count.
+
+    ``form`` is ``"while"`` (empty header + separate latch) or ``"self"``
+    (single block branching back to itself); ``trip_count`` is the exact
+    number of body executions per entry into the loop.  ``step`` is the
+    constant increment when the update is ``v = v +/- c`` (``None`` for
+    other self-recurrences, which still trip-count but cannot be
+    strength-reduced)."""
+
+    header: str
+    latch: str
+    exit: str
+    induction: str
+    init: int
+    init_block: str
+    init_index: int
+    step: Optional[int]
+    update_index: int
+    trip_count: int
+    form: str
+
+
+def _is_plain_scalar(name: str) -> bool:
+    return not name.startswith("@") and "[" not in name
+
+
+def _reads_only(expr: IRNode, allowed: Set[str]) -> bool:
+    """True when ``expr`` reads nothing but constants and ``allowed``
+    scalars (no ports, no array accesses)."""
+    stack: List[IRNode] = [expr]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, Const):
+            continue
+        if isinstance(node, VarRef):
+            if node.name not in allowed:
+                return False
+            continue
+        if isinstance(node, Op):
+            stack.extend(node.operands)
+            continue
+        return False  # ArrayRef / PortInput / anything exotic
+    return True
+
+
+def _find_induction(
+    statements: List[Statement], condition: IRNode
+) -> Optional[Tuple[str, int, Optional[int]]]:
+    """The loop's induction variable: the sole variable the condition
+    reads, defined exactly once by a self-recurrence over constants.
+    Returns ``(name, update_index, step)`` or ``None``."""
+    cond_vars = expr_variables(condition)
+    if len(cond_vars) != 1:
+        return None
+    (name,) = cond_vars
+    if not _is_plain_scalar(name):
+        return None
+    if not _reads_only(condition, {name}):
+        return None
+    defs = [
+        index
+        for index, statement in enumerate(statements)
+        if statement.destination == name and statement.destination_index is None
+    ]
+    if len(defs) != 1:
+        return None
+    update = statements[defs[0]]
+    if not _reads_only(update.expression, {name}):
+        return None
+    step = _constant_step(update.expression, name)
+    return name, defs[0], step
+
+
+def _constant_step(expression: IRNode, name: str) -> Optional[int]:
+    """The constant ``s`` when ``expression`` is ``name + s``/``name - s``
+    (or ``s + name``); ``None`` otherwise."""
+    if not isinstance(expression, Op) or len(expression.operands) != 2:
+        return None
+    left, right = expression.operands
+    if expression.op == "add":
+        if isinstance(left, VarRef) and left.name == name and isinstance(right, Const):
+            return right.value
+        if isinstance(right, VarRef) and right.name == name and isinstance(left, Const):
+            return left.value
+    if expression.op == "sub":
+        if isinstance(left, VarRef) and left.name == name and isinstance(right, Const):
+            return -right.value
+    return None
+
+
+def _constant_init(
+    program: Program,
+    cfg: ControlFlowGraph,
+    start: str,
+    name: str,
+) -> Optional[Tuple[int, str, int]]:
+    """The constant reaching definition of ``name`` at the exit of block
+    ``start``, found by walking the unique-predecessor chain backwards.
+    Every execution that reaches ``start`` provably passes the returned
+    definition last.  Returns ``(value, block, statement_index)``."""
+    entry = program.entry_block_name()
+    block = start
+    visited: Set[str] = set()
+    while True:
+        if block in visited:
+            return None
+        visited.add(block)
+        body = program.block(block)
+        for index in range(len(body.statements) - 1, -1, -1):
+            statement = body.statements[index]
+            if statement.destination == name and statement.destination_index is None:
+                if isinstance(statement.expression, Const):
+                    return statement.expression.value, block, index
+                return None
+        if block == entry:
+            # Walking past the program entry would skip the definition on
+            # the initial execution; the reaching value is unknown.
+            return None
+        predecessors = cfg.predecessors.get(block, ())
+        if len(predecessors) != 1:
+            return None
+        block = predecessors[0]
+
+
+def _branch_enters(condition_value: int, branch: CBranch, loop_blocks) -> bool:
+    target = branch.true_target if condition_value != 0 else branch.false_target
+    return target in loop_blocks
+
+
+def _trip_count(
+    form: str,
+    init: int,
+    induction: str,
+    update: IRNode,
+    branch: CBranch,
+    loop_blocks,
+) -> Optional[int]:
+    """Exact body-execution count by reference evaluation of the
+    induction recurrence (``None`` when the loop never exits within the
+    step cap, or executes zero times in ``self`` form -- impossible)."""
+    value = init
+    trips = 0
+    if form == "while":
+        while True:
+            condition = evaluate_expr(branch.condition, {induction: value})
+            if not _branch_enters(condition, branch, loop_blocks):
+                return trips
+            trips += 1
+            if trips > TRIP_LIMIT:
+                return None
+            value = evaluate_expr(update, {induction: value})
+    while True:  # "self": body runs before the first test
+        trips += 1
+        if trips > TRIP_LIMIT:
+            return None
+        value = evaluate_expr(update, {induction: value})
+        condition = evaluate_expr(branch.condition, {induction: value})
+        if not _branch_enters(condition, branch, loop_blocks):
+            return trips
+
+
+def find_counted_loops(
+    program: Program,
+    cfg: Optional[ControlFlowGraph] = None,
+) -> Dict[str, CountedLoop]:
+    """All counted loops of ``program``, keyed by header block name."""
+    if cfg is None:
+        cfg = ControlFlowGraph.from_program(program)
+    if not cfg.names:
+        return {}
+    forest = loop_nesting_forest(cfg)
+    counted: Dict[str, CountedLoop] = {}
+    for header, loop in forest.loops.items():
+        if len(loop.back_edges) != 1:
+            continue
+        header_block = program.block(header)
+        if len(loop.blocks) == 1:
+            form = "self"
+            latch = header
+            branch = header_block.terminator
+            if not isinstance(branch, CBranch):
+                continue
+            in_loop = [t for t in branch.targets() if t == header]
+            if len(in_loop) != 1:
+                continue
+            exit_target = (
+                branch.false_target
+                if branch.true_target == header
+                else branch.true_target
+            )
+            body_statements = header_block.statements
+        elif len(loop.blocks) == 2:
+            form = "while"
+            latch = loop.latches[0]
+            if header_block.statements:
+                continue
+            branch = header_block.terminator
+            if not isinstance(branch, CBranch):
+                continue
+            in_loop = [t for t in branch.targets() if t in loop.blocks]
+            if len(in_loop) != 1 or in_loop[0] != latch:
+                continue
+            exit_target = (
+                branch.false_target
+                if branch.true_target == latch
+                else branch.true_target
+            )
+            latch_block = program.block(latch)
+            if not isinstance(latch_block.terminator, Jump):
+                continue
+            body_statements = latch_block.statements
+        else:
+            continue
+        induction = _find_induction(body_statements, branch.condition)
+        if induction is None:
+            continue
+        name, update_index, step = induction
+        outside = [
+            pred
+            for pred in cfg.predecessors.get(header, ())
+            if pred not in loop.blocks
+        ]
+        if len(outside) != 1:
+            continue
+        init = _constant_init(program, cfg, outside[0], name)
+        if init is None:
+            continue
+        init_value, init_block, init_index = init
+        trips = _trip_count(
+            form,
+            init_value,
+            name,
+            body_statements[update_index].expression,
+            branch,
+            set(loop.blocks),
+        )
+        if trips is None:
+            continue
+        counted[header] = CountedLoop(
+            header=header,
+            latch=latch,
+            exit=exit_target,
+            induction=name,
+            init=init_value,
+            init_block=init_block,
+            init_index=init_index,
+            step=step,
+            update_index=update_index,
+            trip_count=trips,
+            form=form,
+        )
+    return counted
+
+
+# ---------------------------------------------------------------------------
+# Rotation
+# ---------------------------------------------------------------------------
+
+
+def _rotate_one(program: Program, loop: CountedLoop) -> None:
+    """Rewrite one ``while``-form counted loop (proven >= 1 trip) into
+    ``do``-``while`` form in place: the latch takes the header's
+    conditional branch, every outside edge enters the latch directly,
+    and the (now unreachable) header block is removed."""
+    cfg = ControlFlowGraph.from_program(program)
+    header_block = program.block(loop.header)
+    branch = header_block.terminator
+    latch_block = program.block(loop.latch)
+    latch_block.terminator = CBranch(
+        condition=branch.condition,
+        true_target=branch.true_target,
+        false_target=branch.false_target,
+    )
+    from repro.analysis.loops import _retarget
+
+    for pred in cfg.predecessors.get(loop.header, ()):
+        if pred == loop.latch:
+            continue
+        block = program.block(pred)
+        block.terminator = _retarget(block.terminator, loop.header, loop.latch)
+    program.blocks = [
+        block for block in program.blocks if block.name != loop.header
+    ]
+
+
+def rotate_counted_loops(
+    program: Program, counters: Optional[Dict[str, int]] = None
+) -> int:
+    """Rotate every eligible ``while``-form counted loop of ``program``
+    (mutating it), re-recognizing after each rewrite so chained loops see
+    each other's updated edges.  Returns the number of rotations."""
+    stats = counters if counters is not None else {}
+    stats.setdefault("loops_rotated", 0)
+    rotated = 0
+    while True:
+        entry = program.entry_block_name() if program.blocks else ""
+        candidates = [
+            loop
+            for loop in find_counted_loops(program).values()
+            if loop.form == "while"
+            and loop.trip_count >= 1
+            and loop.header != entry
+        ]
+        if not candidates:
+            return rotated
+        _rotate_one(program, candidates[0])
+        rotated += 1
+        stats["loops_rotated"] += 1
+
+
+# ---------------------------------------------------------------------------
+# Strength reduction
+# ---------------------------------------------------------------------------
+
+
+def _mul_patterns(induction: str, factor: int) -> Tuple[Op, Op]:
+    return (
+        Op("mul", (VarRef(induction), Const(factor))),
+        Op("mul", (Const(factor), VarRef(induction))),
+    )
+
+
+def _count_data_path_matches(expr: IRNode, patterns: Tuple[Op, Op]) -> int:
+    """Occurrences of the patterns outside address contexts (an
+    :class:`~repro.ir.expr.ArrayRef` index is evaluated by the
+    address-generation logic for free, so it never justifies the
+    reduction on its own)."""
+    count = 0
+    stack: List[Tuple[IRNode, bool]] = [(expr, False)]
+    while stack:
+        node, in_address = stack.pop()
+        if not in_address and node in patterns:
+            count += 1
+            continue
+        from repro.ir.expr import ArrayRef
+
+        if isinstance(node, ArrayRef):
+            stack.append((node.index, True))
+            continue
+        for child in node.children():
+            stack.append((child, in_address))
+    return count
+
+
+def _replace_matches(expr: IRNode, patterns: Tuple[Op, Op], temp: str) -> IRNode:
+    """``expr`` with every pattern occurrence (address contexts included)
+    replaced by a read of ``temp``."""
+    from repro.ir.expr import ArrayRef
+
+    if expr in patterns:
+        return VarRef(temp)
+    if isinstance(expr, ArrayRef):
+        return ArrayRef(expr.name, _replace_matches(expr.index, patterns, temp))
+    if isinstance(expr, Op):
+        return Op(
+            expr.op,
+            tuple(_replace_matches(operand, patterns, temp) for operand in expr.operands),
+        )
+    return expr
+
+
+def strength_reduce(
+    program: Program, counters: Optional[Dict[str, int]] = None
+) -> int:
+    """Replace ``i * k`` products of counted-loop induction variables by
+    incrementally maintained ``__sr*`` temporaries (mutating ``program``).
+    Returns the number of occurrences rewritten."""
+    stats = counters if counters is not None else {}
+    stats.setdefault("strength_reductions", 0)
+    reserved = set(program.all_variables()) | set(program.scalars)
+    serial = [0]
+
+    def alloc_temp() -> str:
+        while True:
+            name = "%s%d" % (SR_TEMP_PREFIX, serial[0])
+            serial[0] += 1
+            if name not in reserved:
+                reserved.add(name)
+                return name
+
+    reduced = 0
+    for loop in find_counted_loops(program).values():
+        if loop.step is None:
+            continue
+        body = program.block(loop.latch)
+        factors: Dict[int, int] = {}
+        for index, statement in enumerate(body.statements):
+            if index == loop.update_index:
+                continue
+            for factor in _candidate_factors(statement.expression, loop.induction):
+                patterns = _mul_patterns(loop.induction, factor)
+                factors[factor] = factors.get(factor, 0) + _count_data_path_matches(
+                    statement.expression, patterns
+                )
+        for factor, occurrences in sorted(factors.items()):
+            if occurrences < SR_MIN_OCCURRENCES:
+                continue
+            patterns = _mul_patterns(loop.induction, factor)
+            temp = alloc_temp()
+            # Earlier factors inserted statements; relocate the update.
+            update_at = next(
+                index
+                for index, statement in enumerate(body.statements)
+                if statement.destination == loop.induction
+                and statement.destination_index is None
+            )
+            for index, statement in enumerate(body.statements):
+                if index == update_at:
+                    continue
+                expression = _replace_matches(statement.expression, patterns, temp)
+                destination_index = statement.destination_index
+                if destination_index is not None:
+                    destination_index = _replace_matches(
+                        destination_index, patterns, temp
+                    )
+                body.statements[index] = Statement(
+                    destination=statement.destination,
+                    expression=expression,
+                    destination_index=destination_index,
+                )
+            # Maintain the recurrence: init next to the induction init,
+            # step right after the induction update.
+            init_block = program.block(loop.init_block)
+            init_block.statements.insert(
+                loop.init_index + 1,
+                Statement(temp, Const(wrap_word(loop.init * factor))),
+            )
+            body.statements.insert(
+                update_at + 1,
+                Statement(
+                    temp,
+                    Op(
+                        "add",
+                        (VarRef(temp), Const(wrap_word(loop.step * factor))),
+                    ),
+                ),
+            )
+            if temp not in program.scalars:
+                program.scalars.append(temp)
+            reduced += occurrences
+            stats["strength_reductions"] += occurrences
+    return reduced
+
+
+def _candidate_factors(expr: IRNode, induction: str) -> Set[int]:
+    """Constant factors ``k`` of ``induction * k`` products in ``expr``."""
+    factors: Set[int] = set()
+    stack: List[IRNode] = [expr]
+    while stack:
+        node = stack.pop()
+        if (
+            isinstance(node, Op)
+            and node.op == "mul"
+            and len(node.operands) == 2
+        ):
+            left, right = node.operands
+            if (
+                isinstance(left, VarRef)
+                and left.name == induction
+                and isinstance(right, Const)
+            ):
+                factors.add(right.value)
+            elif (
+                isinstance(right, VarRef)
+                and right.name == induction
+                and isinstance(left, Const)
+            ):
+                factors.add(left.value)
+        stack.extend(node.children())
+    return factors
+
+
+# ---------------------------------------------------------------------------
+# Hardware-loop annotation
+# ---------------------------------------------------------------------------
+
+
+def annotate_hardware_loops(program: Program) -> Dict[str, HardwareLoop]:
+    """Hardware-loop annotations for every counted single-block self-loop
+    of the (final, optimized) program.
+
+    The annotation promises: every entry into the latch block executes
+    its body exactly ``trip_count`` times before control leaves through
+    the branch's exit target.  That is exactly what the recognition
+    proves (constant init on every entering path, sole constant-step
+    update, condition over the induction variable only), so a backend may
+    replace the conditional branch by a repeat instruction without
+    consulting the condition at runtime."""
+    annotations: Dict[str, HardwareLoop] = {}
+    for loop in find_counted_loops(program).values():
+        if loop.form != "self":
+            continue
+        body = program.block(loop.latch)
+        kind = "rpt" if len(body.statements) == 1 else "repeat"
+        annotations[loop.latch] = HardwareLoop(
+            latch=loop.latch, trip_count=loop.trip_count, kind=kind
+        )
+    return annotations

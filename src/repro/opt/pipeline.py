@@ -1,10 +1,21 @@
 """The composable optimization pipeline and its statistics.
 
-An :class:`OptPipeline` runs an ordered subset of the three stages --
-``fold`` (constant folding / algebraic simplification), ``cse``
-(cross-statement common-subexpression elimination) and ``dce``
-(dead-temporary elimination) -- over an IR :class:`~repro.ir.Program` and
-returns a *fresh* optimized program plus an :class:`OptStats` record.
+An :class:`OptPipeline` runs an ordered subset of the optimization
+stages -- ``fold`` (constant folding / algebraic simplification),
+``loops`` (counted-loop rotation and strength reduction,
+:mod:`repro.opt.loops`), ``licm`` (loop-invariant code motion,
+:mod:`repro.opt.licm`), ``gvn`` (dominator-ordered global CSE,
+:mod:`repro.opt.gvn`), ``cse`` (the historical block-local CSE) and
+``dce`` (dead-temporary elimination) -- over an IR
+:class:`~repro.ir.Program` and returns a *fresh* optimized program plus
+an :class:`OptStats` record.  The default stage list runs the global
+optimizer (``gvn`` subsumes ``cse``; ``cse`` remains selectable for
+block-local comparisons).
+
+After a run that included the ``loops`` stage, counted single-block
+self-loops of the result carry :class:`~repro.ir.program.HardwareLoop`
+annotations in ``Program.hw_loops``, the hook the backend's
+zero-overhead repeat lowering keys on.
 
 Copy hygiene is part of the contract: the returned program never shares
 statement or expression objects with the input (mirroring the
@@ -17,7 +28,7 @@ gates operator-introducing rewrites (see :mod:`repro.opt.fold`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.diagnostics import ReproError
 from repro.ir.program import BasicBlock, CBranch, Program, Statement
@@ -46,9 +57,14 @@ class OptStats:
     ``rewrites`` maps individual rewrite-rule names (``"const-fold"``,
     ``"add-zero"``, ``"mul-pow2-shl"``, ...) to fire counts; ``folds`` and
     ``algebraic`` are its constant/algebraic split.  ``cse_hits`` counts
-    expression occurrences rewritten to read a temporary (including the
-    defining occurrence); ``temps_introduced``/``dead_removed`` count CSE
-    temporaries created and dead ones eliminated again.
+    expression occurrences rewritten to read a temporary by the
+    block-local eliminator (``gvn_hits`` is the cross-block analogue);
+    ``temps_introduced``/``dead_removed`` count temporaries created and
+    dead ones eliminated again.  The loop block: ``loops_rotated``
+    (while-form loops rewritten into do-while form), ``licm_hoisted``
+    (statements moved plus invariants materialized in preheaders),
+    ``strength_reductions`` (induction-variable products rewritten) and
+    ``hw_loops`` (counted self-loops annotated for hardware looping).
     """
 
     nodes_before: int = 0
@@ -58,6 +74,11 @@ class OptStats:
     folds: int = 0
     algebraic: int = 0
     cse_hits: int = 0
+    gvn_hits: int = 0
+    licm_hoisted: int = 0
+    strength_reductions: int = 0
+    loops_rotated: int = 0
+    hw_loops: int = 0
     temps_introduced: int = 0
     dead_removed: int = 0
     rewrites: Dict[str, int] = field(default_factory=dict)
@@ -82,6 +103,11 @@ class OptStats:
             "folds": self.folds,
             "algebraic": self.algebraic,
             "cse_hits": self.cse_hits,
+            "gvn_hits": self.gvn_hits,
+            "licm_hoisted": self.licm_hoisted,
+            "strength_reductions": self.strength_reductions,
+            "loops_rotated": self.loops_rotated,
+            "hw_loops": self.hw_loops,
             "temps_introduced": self.temps_introduced,
             "dead_removed": self.dead_removed,
             "rewrites": dict(self.rewrites),
@@ -97,6 +123,11 @@ class OptStats:
             folds=data.get("folds", 0),
             algebraic=data.get("algebraic", 0),
             cse_hits=data.get("cse_hits", 0),
+            gvn_hits=data.get("gvn_hits", 0),
+            licm_hoisted=data.get("licm_hoisted", 0),
+            strength_reductions=data.get("strength_reductions", 0),
+            loops_rotated=data.get("loops_rotated", 0),
+            hw_loops=data.get("hw_loops", 0),
             temps_introduced=data.get("temps_introduced", 0),
             dead_removed=data.get("dead_removed", 0),
             rewrites=dict(data.get("rewrites", {})),
@@ -145,6 +176,7 @@ def copy_program(program: Program) -> Program:
         scalars=list(program.scalars),
         arrays=dict(program.arrays),
         entry=program.entry,
+        hw_loops=dict(program.hw_loops),
     )
 
 
@@ -166,11 +198,23 @@ def _fold_terminator(terminator, rewrites=None):
     )
 
 
+#: Stages that materialize compiler temporaries.  When any of them is in
+#: a run's stage list, ``dce`` removes exactly the temporaries that run
+#: introduced (never a user variable that shares a prefix).
+_MATERIALIZING_STAGES = ("loops", "licm", "gvn", "cse")
+
+
 class OptPipeline:
     """An ordered, configurable sequence of optimization stages."""
 
     #: All known stages, in canonical order.
-    STAGES: Tuple[str, ...] = ("fold", "cse", "dce")
+    STAGES: Tuple[str, ...] = ("fold", "loops", "licm", "gvn", "cse", "dce")
+
+    #: The default run: the global optimizer.  ``cse`` is omitted --
+    #: ``gvn`` performs the identical rewrite block-locally and extends
+    #: it across the CFG -- but stays selectable for block-local
+    #: comparisons (``--stages fold,cse,dce``).
+    DEFAULT_STAGES: Tuple[str, ...] = ("fold", "loops", "licm", "gvn", "dce")
 
     def __init__(
         self,
@@ -180,7 +224,7 @@ class OptPipeline:
         temp_prefix: str = TEMP_PREFIX,
     ):
         self.stages: Tuple[str, ...] = (
-            tuple(stages) if stages is not None else self.STAGES
+            tuple(stages) if stages is not None else self.DEFAULT_STAGES
         )
         unknown = [stage for stage in self.stages if stage not in self.STAGES]
         if unknown:
@@ -196,8 +240,22 @@ class OptPipeline:
         self,
         program: Program,
         supported_ops: Optional[Set[str]] = None,
+        observer: Optional[Callable[[str, Program], None]] = None,
     ) -> Tuple[Program, OptStats]:
-        """Optimize ``program`` and return ``(fresh program, stats)``."""
+        """Optimize ``program`` and return ``(fresh program, stats)``.
+
+        ``observer`` (when given) is called as ``observer(stage,
+        program)`` after each stage with the stage's result -- the CLI's
+        per-stage diff rendering hook.  Observers must not mutate the
+        program they are shown."""
+        from repro.opt.gvn import global_value_numbering
+        from repro.opt.licm import hoist_loop_invariants
+        from repro.opt.loops import (
+            annotate_hardware_loops,
+            rotate_counted_loops,
+            strength_reduce,
+        )
+
         stats = OptStats(
             nodes_before=_program_nodes(program),
             statements_before=program.statement_count(),
@@ -206,12 +264,16 @@ class OptPipeline:
             "cse_hits": 0,
             "temps_introduced": 0,
             "dead_removed": 0,
+            "loops_rotated": 0,
+            "strength_reductions": 0,
+            "licm_hoisted": 0,
+            "gvn_hits": 0,
         }
         current = program
         produced_fresh = False
-        # Temporaries materialized by this run's CSE stage; dead-temp
+        # Temporaries materialized by this run's stages; dead-temp
         # elimination removes only these, never a user variable that
-        # happens to share the prefix.
+        # happens to share a prefix.
         introduced_temps: Set[str] = set()
         for stage in self.stages:
             if stage == "fold":
@@ -239,6 +301,34 @@ class OptPipeline:
                     entry=current.entry,
                 )
                 produced_fresh = True
+            elif stage == "loops":
+                current = copy_program(current)
+                scalars_before = set(current.scalars)
+                rotate_counted_loops(current, counters)
+                strength_reduce(current, counters)
+                introduced_temps |= set(current.scalars) - scalars_before
+                produced_fresh = True
+            elif stage == "licm":
+                current = copy_program(current)
+                introduced_temps |= hoist_loop_invariants(current, counters)
+                produced_fresh = True
+            elif stage == "gvn":
+                gvn_counters: Dict[str, int] = {
+                    "cse_hits": 0,
+                    "temps_introduced": 0,
+                }
+                scalars_before = set(current.scalars)
+                current = global_value_numbering(
+                    current,
+                    min_occurrences=self.min_cse_occurrences,
+                    min_ops=self.min_cse_ops,
+                    temp_prefix=self.temp_prefix,
+                    counters=gvn_counters,
+                )
+                counters["gvn_hits"] += gvn_counters["cse_hits"]
+                counters["temps_introduced"] += gvn_counters["temps_introduced"]
+                introduced_temps |= set(current.scalars) - scalars_before
+                produced_fresh = True
             elif stage == "cse":
                 scalars_before = set(current.scalars)
                 current = eliminate_common_subexpressions(
@@ -253,20 +343,32 @@ class OptPipeline:
             elif stage == "dce":
                 # DCE reuses surviving statement objects; freshness comes
                 # from an earlier stage or the final copy below.  With a
-                # cse stage in this run, only its materialized temps are
+                # materializing stage in this run, only its temps are
                 # removable (a user scalar named "__cse0" is safe);
                 # without one, fall back to the documented standalone
                 # prefix semantics so "--stages dce" is not a no-op.
+                standalone = not any(
+                    name in self.stages for name in _MATERIALIZING_STAGES
+                )
                 current = eliminate_dead_temporaries(
                     current,
                     temp_prefix=self.temp_prefix,
                     counters=counters,
-                    temps=introduced_temps if "cse" in self.stages else None,
+                    temps=None if standalone else introduced_temps,
                 )
+            if observer is not None:
+                observer(stage, current)
         if not produced_fresh:
             current = copy_program(current)
+        if "loops" in self.stages:
+            current.hw_loops = annotate_hardware_loops(current)
+            stats.hw_loops = len(current.hw_loops)
         stats.folds, stats.algebraic = split_rewrite_counts(stats.rewrites)
         stats.cse_hits = counters["cse_hits"]
+        stats.gvn_hits = counters["gvn_hits"]
+        stats.licm_hoisted = counters["licm_hoisted"]
+        stats.strength_reductions = counters["strength_reductions"]
+        stats.loops_rotated = counters["loops_rotated"]
         stats.temps_introduced = counters["temps_introduced"]
         stats.dead_removed = counters["dead_removed"]
         stats.nodes_after = _program_nodes(current)

@@ -27,6 +27,9 @@ Exported families (all prefixed ``repro_``):
   compile time go?);
 * ``repro_label_memo_hit_rate`` -- node-weighted labelling-memo hit
   rate aggregated from ``CompileMetrics``;
+* ``repro_global_opt_total{target=,kind=}`` -- cumulative global
+  optimizer activity per target (``kind`` is ``gvn_hits``,
+  ``licm_hoisted``, ``strength_reductions`` or ``hw_loops``);
 * ``repro_retarget_cache_*`` / ``repro_session_pool_*`` /
   ``repro_worker_*`` -- backend snapshot gauges taken at scrape time
   from :meth:`CompileBackend.stats`, including per-worker
@@ -110,6 +113,12 @@ class ServerMetrics:
             "Subject-tree nodes labelled.",
         )
         self._labelled_nodes.inc(0)
+        self._global_opt = self.registry.counter(
+            "repro_global_opt_total",
+            "Global optimizer activity by target "
+            "(gvn_hits, licm_hoisted, strength_reductions, hw_loops).",
+            labels=("target", "kind"),
+        )
 
     # -- recording ---------------------------------------------------------------
 
@@ -143,6 +152,15 @@ class ServerMetrics:
             self._target_phase_seconds.labels(target=target, phase=phase).inc(
                 float(seconds)
             )
+        for kind, key in (
+            ("gvn_hits", "opt_gvn_hits"),
+            ("licm_hoisted", "opt_licm_hoisted"),
+            ("strength_reductions", "opt_strength_reductions"),
+            ("hw_loops", "opt_hw_loops"),
+        ):
+            value = metrics.get(key)
+            if isinstance(value, int) and value > 0:
+                self._global_opt.labels(target=target, kind=kind).inc(value)
         nodes = metrics.get("nodes_labelled")
         rate = metrics.get("label_memo_hit_rate")
         if isinstance(nodes, int) and nodes > 0 and isinstance(rate, (int, float)):
@@ -228,6 +246,7 @@ class ServerMetrics:
         lines.append("# TYPE repro_label_memo_hit_rate gauge")
         lines.append("repro_label_memo_hit_rate %s" % repr(memo_rate))
         lines.extend(self._labelled_nodes.render())
+        lines.extend(self._global_opt.render())
         lines.extend(self._render_backend(backend_stats))
         return "\n".join(lines) + "\n"
 

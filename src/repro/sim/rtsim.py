@@ -65,6 +65,7 @@ class RTSimulator:
         self._register_holds: Dict[str, str] = {}
         self._register_values: Dict[str, int] = {}
         self._spill_values: Dict[str, int] = {}
+        self._repeat_executed: Dict[str, int] = {}
 
     @property
     def faithful(self) -> bool:
@@ -119,6 +120,10 @@ class RTSimulator:
         if not blocks:
             return dict(self.environment)
         current: Optional[str] = entry if entry else block_codes[0].name
+        # Dedicated hardware loop counters: executed body count per
+        # ``repeat`` latch, reset on loop exit (so re-entering the loop
+        # later starts a fresh repeat).
+        self._repeat_executed: Dict[str, int] = {}
         steps = 0
         while current is not None:
             block_code = blocks.get(current)
@@ -150,6 +155,17 @@ class RTSimulator:
         if instance.kind == "cbranch":
             taken = evaluate_expr(instance.condition, self.environment) != 0
             return instance.targets[0] if taken else instance.targets[1]
+        if instance.kind == "repeat":
+            # Zero-overhead hardware loop: the latch body just ran once;
+            # the dedicated counter decides whether to re-enter it.  The
+            # condition is never evaluated -- that is the point.
+            executed = self._repeat_executed.get(instance.result_id, 0) + 1
+            if executed < instance.repeat_count:
+                self._repeat_executed[instance.result_id] = executed
+                return instance.repeat_body
+            self._repeat_executed.pop(instance.result_id, None)
+            exits = [t for t in instance.targets if t != instance.repeat_body]
+            return exits[0] if exits else None
         raise SimulationError(
             "block %r ends in non-control instance %r"
             % (block_code.name, instance.kind)

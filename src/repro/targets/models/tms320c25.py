@@ -16,6 +16,11 @@ The 16-bit instruction word holds a 4-bit opcode (decoded), an addressing
 mode bit and an 8-bit direct address / immediate field.
 """
 
+# The C25 has a dedicated repeat counter (RPT/RPTK and the enclosing
+# BANZ idiom): counted latch branches lower to zero-overhead ``repeat``
+# control instances instead of per-iteration ``cbranch`` evaluation.
+HARDWARE_LOOPS = True
+
 HDL_SOURCE = """
 processor tms320c25;
 

@@ -177,6 +177,10 @@ class PassContext:
     spill_storage: str
     netlist: object = None
     config: PipelineConfig = field(default_factory=PipelineConfig)
+    # True when the target has a dedicated repeat counter: the selection
+    # pass lowers annotated counted latches (``Program.hw_loops``) to
+    # zero-overhead ``repeat`` instances instead of ``cbranch``.
+    hardware_loops: bool = False
 
 
 @dataclass
@@ -350,10 +354,17 @@ class SelectionPass(Pass):
                             instances=list(code.instances),
                         )
                     )
+                hardware_loop = (
+                    state.program.hw_loops.get(block.name)
+                    if context.hardware_loops
+                    else None
+                )
                 terminator_code = (
                     None
                     if block.terminator is None
-                    else select_terminator(block.terminator, block.name)
+                    else select_terminator(
+                        block.terminator, block.name, hardware_loop
+                    )
                 )
                 block_code = BlockCode(
                     name=block.name,

@@ -48,6 +48,10 @@ class TargetSpec:
     # Variables that should live in registers/ports instead of memory may be
     # listed here per experiment; empty by default.
     binding_overrides: Dict[str, str] = field(default_factory=dict)
+    # True when the processor has a dedicated repeat counter
+    # (TMS320C25 ``RPT``/``RPTK``): counted latch branches lower to
+    # zero-overhead ``repeat`` instances instead of ``cbranch``.
+    hardware_loops: bool = False
     # Origin of the registration ("builtin", "file", "user", "entry-point").
     origin: str = "user"
 
@@ -283,6 +287,7 @@ def _ensure_builtins() -> None:
                 hdl_source=module.HDL_SOURCE,
                 description=description,
                 category=category,
+                hardware_loops=getattr(module, "HARDWARE_LOOPS", False),
                 origin="builtin",
             ),
             replace=True,

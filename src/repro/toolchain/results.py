@@ -60,8 +60,12 @@ class CompileMetrics:
     optimization pass that ran ahead of selection: IR node counts in/out,
     rewrites applied (constant folds plus algebraic simplifications), CSE
     occurrences served from a temporary, and temporaries materialized.
-    All zeros when the pipeline was configured with
-    ``use_optimizer=False``.
+    The global-optimizer block (``opt_gvn_hits``, ``opt_licm_hoisted``,
+    ``opt_strength_reductions``, ``opt_hw_loops``) counts cross-block
+    value-numbering hits, loop-invariant statements/temporaries hoisted
+    into preheaders, strength-reduced multiplication occurrences, and
+    counted loops annotated for hardware-loop codegen.  All zeros when
+    the pipeline was configured with ``use_optimizer=False``.
     """
 
     code_size: int
@@ -78,6 +82,10 @@ class CompileMetrics:
     opt_folds: int = 0
     opt_cse_hits: int = 0
     opt_temps: int = 0
+    opt_gvn_hits: int = 0
+    opt_licm_hoisted: int = 0
+    opt_strength_reductions: int = 0
+    opt_hw_loops: int = 0
     # Static-verifier accounting (zero when PipelineConfig.verify was
     # off); verify time is *not* part of compile_time_s.
     verify_time_s: float = 0.0
@@ -99,6 +107,10 @@ class CompileMetrics:
             "opt_folds": self.opt_folds,
             "opt_cse_hits": self.opt_cse_hits,
             "opt_temps": self.opt_temps,
+            "opt_gvn_hits": self.opt_gvn_hits,
+            "opt_licm_hoisted": self.opt_licm_hoisted,
+            "opt_strength_reductions": self.opt_strength_reductions,
+            "opt_hw_loops": self.opt_hw_loops,
             "verify_time_s": self.verify_time_s,
             "verify_checks": self.verify_checks,
         }
@@ -120,6 +132,10 @@ class CompileMetrics:
             opt_folds=data.get("opt_folds", 0),
             opt_cse_hits=data.get("opt_cse_hits", 0),
             opt_temps=data.get("opt_temps", 0),
+            opt_gvn_hits=data.get("opt_gvn_hits", 0),
+            opt_licm_hoisted=data.get("opt_licm_hoisted", 0),
+            opt_strength_reductions=data.get("opt_strength_reductions", 0),
+            opt_hw_loops=data.get("opt_hw_loops", 0),
             verify_time_s=data.get("verify_time_s", 0.0),
             verify_checks=data.get("verify_checks", 0),
         )
@@ -228,6 +244,12 @@ class CompilationResult:
             opt_folds=(opt_stats.folds + opt_stats.algebraic) if opt_stats else 0,
             opt_cse_hits=opt_stats.cse_hits if opt_stats else 0,
             opt_temps=opt_stats.temps_introduced if opt_stats else 0,
+            opt_gvn_hits=opt_stats.gvn_hits if opt_stats else 0,
+            opt_licm_hoisted=opt_stats.licm_hoisted if opt_stats else 0,
+            opt_strength_reductions=(
+                opt_stats.strength_reductions if opt_stats else 0
+            ),
+            opt_hw_loops=opt_stats.hw_loops if opt_stats else 0,
             verify_time_s=getattr(state, "verify_time_s", 0.0),
             verify_checks=getattr(state, "verify_checks", 0),
         )

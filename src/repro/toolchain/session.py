@@ -76,6 +76,19 @@ class Session:
             else PassManager.from_config(self.config)
         )
         self._spill_storage = default_data_memory(retarget_result.netlist)
+        self._hardware_loops = self._resolve_hardware_loops()
+
+    def _resolve_hardware_loops(self) -> bool:
+        """Whether this target has a dedicated repeat counter.  An
+        explicit spec wins; otherwise the registry entry of the
+        retargeted processor's name decides (unregistered names: no)."""
+        if self.spec is not None:
+            return bool(getattr(self.spec, "hardware_loops", False))
+        try:
+            spec = default_registry().get(self.retarget_result.processor)
+        except KeyError:
+            return False
+        return bool(spec.hardware_loops)
 
     # -- introspection -----------------------------------------------------------
 
@@ -154,6 +167,7 @@ class Session:
             spill_storage=self._spill_storage,
             netlist=self.retarget_result.netlist,
             config=self.config,
+            hardware_loops=self._hardware_loops,
         )
         state: CompilationState = self.pass_manager.run(program, context)
         return state, binding

@@ -14,7 +14,7 @@ import pytest
 
 from repro.dspstone import all_kernel_names, get_kernel, kernel_program, loop_kernel_names
 from repro.hdl.ast import ModuleKind
-from repro.opt import TEMP_PREFIX
+from repro.opt import OPT_TEMP_PREFIXES
 from repro.toolchain import PipelineConfig, Session
 
 #: Targets whose grammars cover the DSPStone kernels (the other built-ins
@@ -44,7 +44,7 @@ def _observables(environment):
     return {
         key: value
         for key, value in environment.items()
-        if not key.startswith(TEMP_PREFIX)
+        if not key.startswith(OPT_TEMP_PREFIXES)
     }
 
 

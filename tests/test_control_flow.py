@@ -142,7 +142,14 @@ class TestOptimizerOnCFG:
         optimized, stats = optimize_program(program)
         env = _dot_env()
         assert optimized.execute(dict(env))["z"] == program.execute(dict(env))["z"]
-        assert [b.name for b in optimized.blocks] == [b.name for b in program.blocks]
+        # The counted while-loop is rotated: the empty L1_while header is
+        # folded into the latch, which now carries the condition.
+        assert [b.name for b in optimized.blocks] == [
+            "entry",
+            "L2_body",
+            "L3_endwhile",
+        ]
+        assert stats.loops_rotated == 1
         assert stats.statements_before == stats.statements_after
 
     def test_fold_works_per_block(self):
@@ -235,9 +242,13 @@ class TestBackendCFG:
         result = session.compile(DOT_LOOP, name="dot")
         listing = result.listing()
         assert "entry:" in listing
-        assert "L1_while:" in listing
-        assert "jump L1_while" in listing
-        assert "goto" in listing
+        # Loop rotation removed the empty L1_while header; entry jumps
+        # straight to the body, which conditionally branches to itself.
+        assert "L2_body:" in listing
+        assert "jump L2_body" in listing
+        # On the tms320c25 the counted latch lowers to a zero-overhead
+        # hardware loop instead of a per-iteration conditional branch.
+        assert "repeat L2_body x4 then L3_endwhile" in listing
 
     def test_branches_pinned_at_block_ends(self, session):
         result = session.compile(DOT_LOOP, name="dot")
@@ -249,7 +260,7 @@ class TestBackendCFG:
     def test_binary_encoding_of_cfg_program(self, tms_result):
         session = Session(tms_result, config=PipelineConfig(encode=True))
         result = session.compile(DOT_LOOP, name="dot")
-        assert "L1_while:" in result.encoding
+        assert "L2_body:" in result.encoding
 
     def test_simulation_trace_records_blocks_and_iterations(self, session):
         result = session.compile(DOT_LOOP, name="dot")
@@ -341,4 +352,4 @@ class TestBackendCFG:
         result = session.compile(DOT_LOOP, name="dot")
         detached = CompilationResult.from_json(result.to_json())
         assert detached.metrics == result.metrics
-        assert "L1_while:" in detached.listing()
+        assert "L2_body:" in detached.listing()

@@ -18,10 +18,10 @@ optimizer never narrows the set of ingestible programs.
 import pytest
 
 from repro.diagnostics import ReproError
-from repro.dspstone import all_kernel_names, kernel_program
+from repro.dspstone import all_kernel_names, kernel_program, loop_kernel_names
 from repro.frontend.lowering import lower_to_program
 from repro.ir.binding import BindingError
-from repro.opt import TEMP_PREFIX
+from repro.opt import OPT_TEMP_PREFIXES
 from repro.targets.library import all_target_names
 from repro.toolchain import PipelineConfig, Session
 
@@ -41,7 +41,7 @@ def _observable(environment):
     return {
         name: value
         for name, value in environment.items()
-        if not name.startswith(TEMP_PREFIX)
+        if not name.startswith(OPT_TEMP_PREFIXES)
     }
 
 
@@ -91,6 +91,27 @@ class TestKernelsDifferential:
             # for the kernel arrays) compile no DSPStone kernel at all --
             # with or without the optimizer.
             pytest.skip("no DSPStone kernel compiles on %s" % target)
+
+    @pytest.mark.parametrize("target", sorted(all_target_names()))
+    def test_all_loop_kernels_equivalent_and_never_worse(
+        self, target, retarget_results
+    ):
+        """The loop-form kernels exercise the whole global pipeline
+        (rotation, LICM, GVN, hardware-loop annotation): optimized must
+        stay observably equal to unoptimized and never larger."""
+        result = retarget_results[target]
+        compared = 0
+        for kernel in loop_kernel_names():
+            program = kernel_program(kernel)
+            pair = _compile_pair(result, program)
+            if pair is None:
+                continue
+            compared += 1
+            _assert_equivalent_and_never_worse(
+                pair, program, "%s/%s" % (target, kernel)
+            )
+        if compared == 0:
+            pytest.skip("no loop kernel compiles on %s" % target)
 
 
 #: Synthetic programs exercising exactly the rewrites the kernels do not
